@@ -1,0 +1,439 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment, reporting the headline metric), plus the microbenchmarks
+// behind the §4.3.3 real-time deployment claims and the ablation studies
+// listed in DESIGN.md.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Experiment benches use the quick context (small dataset scale); the
+// cmd/vpexperiments tool runs the same code at full scale.
+package videoplat_test
+
+import (
+	"testing"
+	"time"
+
+	"videoplat"
+	"videoplat/internal/experiments"
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/tracegen"
+)
+
+func quick() *experiments.Context { return experiments.QuickContext() }
+
+func reportMetric(b *testing.B, r *experiments.Report, key, unit string) {
+	b.Helper()
+	if v, ok := r.Metrics[key]; ok {
+		b.ReportMetric(v, unit)
+	}
+}
+
+// --- One benchmark per paper table/figure ---
+
+func BenchmarkTable1Dataset(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "total_flows", "flows")
+	}
+}
+
+func BenchmarkFig3FieldDiversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "constant_fields", "constant-fields")
+	}
+}
+
+func BenchmarkFig5InfoGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig5(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, rs[0], "high_all", "high-importance-attrs")
+	}
+}
+
+func BenchmarkFig6aGridSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6a(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "best_accuracy", "accuracy")
+	}
+}
+
+func BenchmarkFig6bcdConfusion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.Fig6bcd(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, rs[0], "accuracy", "accuracy")
+	}
+}
+
+func BenchmarkAlgoComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AlgoComparison(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "random forest", "rf-accuracy")
+	}
+}
+
+func BenchmarkTable3OpenSet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table3(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "YT (QUIC)/user platform", "yt-quic-accuracy")
+	}
+}
+
+func BenchmarkTable4Confidence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table4(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "YT (QUIC)/user platform/correct", "median-correct-conf")
+	}
+}
+
+func BenchmarkTable5Subsets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table5(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "full attribute set/platform", "full-set-accuracy")
+	}
+}
+
+func BenchmarkTable6Baselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table6(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "Ours/YT (QUIC)", "ours-yt-quic")
+	}
+}
+
+func BenchmarkFig7WatchTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "youtube/total_hours_per_day", "yt-hours-per-day")
+	}
+}
+
+func BenchmarkFig8AgentWatchTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "amazon/macOS/median", "ap-mac-median-mbps")
+	}
+}
+
+func BenchmarkFig10AgentBandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11Temporal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig11(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "netflix/peak_hour", "nf-peak-hour")
+	}
+}
+
+func BenchmarkFig12Heatmaps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13Diversity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig13(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14Importance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig14(quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) ---
+
+func BenchmarkAblationListEncoding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationListEncoding(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "positional", "positional-accuracy")
+	}
+}
+
+func BenchmarkAblationGrease(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGrease(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "normalized", "normalized-accuracy")
+	}
+}
+
+func BenchmarkAblationConfidenceSelector(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationConfidenceSelector(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "composite_rate", "composite-rate")
+	}
+}
+
+func BenchmarkAblationGlobalClassifier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.AblationGlobalClassifier(quick())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportMetric(b, r, "global", "global-accuracy")
+	}
+}
+
+// --- Real-time deployment microbenchmarks (§4.3.3: 20 Gbps, 1000+
+// concurrent flows on a commodity server) ---
+
+func trainedBank(b *testing.B) *videoplat.Bank {
+	b.Helper()
+	ds, err := videoplat.GenerateLabDataset(1, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := videoplat.Train(ds, videoplat.ForestConfig{NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return bank
+}
+
+// BenchmarkPipelineThroughput measures full-pipeline packet handling over a
+// mixed workload, reporting bytes/s toward the 20 Gbps budget.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	bank := trainedBank(b)
+	g := tracegen.New(123)
+	var frames []tracegen.Frame
+	var total int64
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		label := fingerprint.AllPlatformLabels()[i%17]
+		prov := fingerprint.AllProviders()[i%4]
+		if !fingerprint.SupportMatrix(label, prov) {
+			prov = fingerprint.YouTube
+		}
+		if !fingerprint.SupportMatrix(label, prov) {
+			continue
+		}
+		tr := fingerprint.TCP
+		if !fingerprint.SupportsTCP(label, prov) {
+			tr = fingerprint.QUIC
+		}
+		ft, err := g.Flow(label, prov, tr, tracegen.FlowSpec{Start: start, PayloadFrames: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, ft.Frames...)
+		for _, fr := range ft.Frames {
+			total += int64(len(fr.Data))
+		}
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := videoplat.NewPipeline(bank)
+		for _, fr := range frames {
+			if _, err := p.HandlePacket(start, fr.Data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkAttributeExtraction measures the Table 2 attribute generator on
+// a decrypted QUIC handshake (the green box of Fig 4).
+func BenchmarkAttributeExtraction(b *testing.B) {
+	g := tracegen.New(5)
+	ft, err := g.Flow("windows_chrome", fingerprint.YouTube, fingerprint.QUIC,
+		tracegen.FlowSpec{PayloadFrames: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := pipeline.ExtractTrace(ft)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.Extract(info)
+	}
+}
+
+// BenchmarkClassifyFlow measures one classifier-bank invocation (12-model
+// bank, three objectives with confidence selection).
+func BenchmarkClassifyFlow(b *testing.B) {
+	bank := trainedBank(b)
+	g := tracegen.New(7)
+	ft, err := g.Flow("macOS_safari", fingerprint.Netflix, fingerprint.TCP,
+		tracegen.FlowSpec{PayloadFrames: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := pipeline.ExtractTrace(ft)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := features.Extract(info)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bank.Classify(fingerprint.Netflix, fingerprint.TCP, v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentFlows models the paper's 1000-concurrent-flow load:
+// interleaved handshakes across many simultaneous flows.
+func BenchmarkConcurrentFlows(b *testing.B) {
+	bank := trainedBank(b)
+	g := tracegen.New(11)
+	const concurrent = 200
+	var flows []*tracegen.FlowTrace
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < concurrent; i++ {
+		ft, err := g.Flow("windows_chrome", fingerprint.Netflix, fingerprint.TCP,
+			tracegen.FlowSpec{Start: start, PayloadFrames: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		flows = append(flows, ft)
+	}
+	// Interleave: packet j of every flow, then packet j+1...
+	var schedule [][]byte
+	for j := 0; ; j++ {
+		any := false
+		for _, ft := range flows {
+			if j < len(ft.Frames) {
+				schedule = append(schedule, ft.Frames[j].Data)
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := videoplat.NewPipeline(bank)
+		for _, data := range schedule {
+			if _, err := p.HandlePacket(start, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(concurrent, "concurrent-flows")
+}
+
+// BenchmarkShardedThroughput measures the multi-core fan-out pipeline on
+// the same mixed workload as BenchmarkPipelineThroughput.
+func BenchmarkShardedThroughput(b *testing.B) {
+	bank := trainedBank(b)
+	g := tracegen.New(321)
+	var frames []tracegen.Frame
+	var total int64
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		label := fingerprint.AllPlatformLabels()[i%17]
+		prov := fingerprint.AllProviders()[i%4]
+		if !fingerprint.SupportMatrix(label, prov) {
+			prov = fingerprint.YouTube
+		}
+		if !fingerprint.SupportMatrix(label, prov) {
+			continue
+		}
+		tr := fingerprint.TCP
+		if !fingerprint.SupportsTCP(label, prov) {
+			tr = fingerprint.QUIC
+		}
+		ft, err := g.Flow(label, prov, tr, tracegen.FlowSpec{Start: start, PayloadFrames: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, ft.Frames...)
+		for _, fr := range ft.Frames {
+			total += int64(len(fr.Data))
+		}
+	}
+	b.SetBytes(total)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := pipeline.NewSharded(bank, 4)
+		go func() {
+			for range s.Results() {
+			}
+		}()
+		for _, fr := range frames {
+			s.HandlePacket(start, fr.Data)
+		}
+		s.Close()
+	}
+}

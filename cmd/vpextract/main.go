@@ -1,0 +1,122 @@
+// Command vpextract parses a PCAP and writes one CSV row of the 62 Table 2
+// handshake attributes per video flow — the reproduction of the paper's
+// published chlo_extract tool.
+//
+// Usage:
+//
+//	vpextract capture.pcap > attributes.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"videoplat/internal/features"
+	"videoplat/internal/packet"
+	"videoplat/internal/pcap"
+	"videoplat/internal/pipeline"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vpextract capture.pcap")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	exitOn(err)
+	defer f.Close()
+	r, err := pcap.OpenReader(f) // accepts classic pcap and pcapng
+	exitOn(err)
+
+	// Group client frames per canonical flow.
+	type flowBuf struct {
+		frames [][]byte
+		key    packet.FlowKey
+	}
+	flows := map[packet.FlowKey]*flowBuf{}
+	var order []*flowBuf
+	var parser packet.Parser
+	var parsed packet.Parsed
+	for {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		exitOn(err)
+		if parser.Parse(pkt.Data, &parsed) != nil {
+			continue
+		}
+		key, ok := parsed.Flow()
+		if !ok {
+			continue
+		}
+		canon := key.Canonical()
+		fb := flows[canon]
+		if fb == nil {
+			fb = &flowBuf{key: key}
+			flows[canon] = fb
+			order = append(order, fb)
+		}
+		if key == fb.key { // client-to-server direction
+			fb.frames = append(fb.frames, pkt.Data)
+		}
+	}
+
+	w := csv.NewWriter(os.Stdout)
+	header := []string{"flow", "sni", "provider", "transport"}
+	for _, a := range features.Table2 {
+		header = append(header, a.Label)
+	}
+	exitOn(w.Write(header))
+
+	for _, fb := range order {
+		info, err := pipeline.ExtractFrames(fb.frames)
+		if err != nil {
+			continue // no ClientHello in this flow
+		}
+		sni := info.Hello.ServerName()
+		prov, _, ok := pipeline.MatchProvider(sni)
+		provName := ""
+		if ok {
+			provName = prov.String()
+		}
+		transport := "tcp"
+		if info.QUIC {
+			transport = "quic"
+		}
+		v := features.Extract(info)
+		row := []string{fb.key.String(), sni, provName, transport}
+		for _, a := range features.Table2 {
+			row = append(row, renderValue(v, a))
+		}
+		exitOn(w.Write(row))
+	}
+	w.Flush()
+	exitOn(w.Error())
+}
+
+func renderValue(v *features.FieldValues, a features.Attribute) string {
+	switch a.Kind {
+	case features.Categorical:
+		return v.Cats[a.Label]
+	case features.List:
+		return strings.Join(v.Lists[a.Label], "|")
+	default:
+		if val, ok := v.Nums[a.Label]; ok {
+			return fmt.Sprintf("%g", val)
+		}
+		return ""
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpextract:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,103 @@
+// Fingerprint inspection: render one session per platform family to a PCAP
+// in memory, then decode each flow's handshake the way a network analyst
+// would — TCP stack parameters, JA3, TLS extension layout, and (for QUIC)
+// the decrypted Initial's transport parameters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"videoplat/internal/baselines"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+	"videoplat/internal/tracegen"
+)
+
+func main() {
+	g := tracegen.New(17)
+	cases := []struct {
+		label string
+		prov  fingerprint.Provider
+		tr    fingerprint.Transport
+	}{
+		{"windows_chrome", fingerprint.YouTube, fingerprint.QUIC},
+		{"windows_firefox", fingerprint.Netflix, fingerprint.TCP},
+		{"macOS_safari", fingerprint.Amazon, fingerprint.TCP},
+		{"iOS_nativeApp", fingerprint.YouTube, fingerprint.QUIC},
+		{"ps5_nativeApp", fingerprint.Disney, fingerprint.TCP},
+	}
+	for _, c := range cases {
+		ft, err := g.Flow(c.label, c.prov, c.tr, tracegen.FlowSpec{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		inspect(ft)
+	}
+}
+
+func inspect(ft *tracegen.FlowTrace) {
+	fmt.Printf("=== %s streaming %s over %s ===\n", ft.Label, ft.Provider, ft.Transport)
+
+	var frames [][]byte
+	for _, fr := range ft.Frames {
+		if fr.ClientToServer {
+			frames = append(frames, fr.Data)
+		}
+	}
+	info, err := pipeline.ExtractFrames(frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !info.QUIC {
+		fmt.Printf("  TCP SYN : ttl=%d window=%d mss=%d wscale=%d sack=%v\n",
+			info.TTL, info.TCPWindow, info.TCPMSS, info.TCPWScale, info.TCPSACK)
+	} else {
+		fmt.Printf("  QUIC    : initial datagram %d bytes (decrypted with RFC 9001 initial keys)\n",
+			info.InitPacketSize)
+	}
+
+	ch := info.Hello
+	full, digest := baselines.JA3(ch)
+	fmt.Printf("  SNI     : %s\n", ch.ServerName())
+	fmt.Printf("  JA3     : %s\n", digest)
+	fmt.Printf("  ja3 str : %s\n", truncate(full, 90))
+	fmt.Printf("  suites  : %d ciphers, %d extensions, ALPN=%v\n",
+		len(ch.CipherSuites), len(ch.Extensions), ch.ALPNProtocols())
+	if lim := ch.RecordSizeLimit(); lim > 0 {
+		fmt.Printf("  record_size_limit=%d (a Firefox tell, §3.3.1)\n", lim)
+	}
+	if algs := ch.CompressCertificateAlgorithms(); len(algs) > 0 {
+		fmt.Printf("  compress_certificate=%v\n", algs)
+	}
+
+	if info.QUIC {
+		if ext, ok := ch.Extension(tlsproto.ExtQUICTransportParams); ok {
+			tp, err := quicproto.ParseTransportParameters(ext.Data)
+			if err == nil {
+				fmt.Printf("  QUIC transport params (%d):", len(tp.Params))
+				if ua, ok := tp.Get(quicproto.ParamUserAgent); ok {
+					fmt.Printf(" user_agent=%q", string(ua.Value))
+				}
+				if v, ok := tp.Uint(quicproto.ParamMaxIdleTimeout); ok {
+					fmt.Printf(" max_idle_timeout=%d", v)
+				}
+				if tp.Has(quicproto.ParamGreaseQuicBit) {
+					fmt.Print(" grease_quic_bit")
+				}
+				fmt.Println()
+			}
+		}
+	}
+	fmt.Println()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

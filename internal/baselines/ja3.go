@@ -1,0 +1,50 @@
+package baselines
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"strconv"
+	"strings"
+
+	"videoplat/internal/tlsproto"
+	"videoplat/internal/wire"
+)
+
+// JA3 computes the JA3 ClientHello fingerprint string and its MD5 digest
+// (Althouse et al., the fingerprinting tool the paper's related work
+// discusses). GREASE values are excluded, per the reference implementation.
+func JA3(ch *tlsproto.ClientHello) (fullString, md5Hex string) {
+	var b strings.Builder
+	b.WriteString(strconv.Itoa(int(ch.LegacyVersion)))
+	b.WriteByte(',')
+	writeList := func(vals []uint16) {
+		first := true
+		for _, v := range vals {
+			if wire.IsGrease(v) {
+				continue
+			}
+			if !first {
+				b.WriteByte('-')
+			}
+			first = false
+			b.WriteString(strconv.Itoa(int(v)))
+		}
+	}
+	writeList(ch.CipherSuites)
+	b.WriteByte(',')
+	writeList(ch.ExtensionTypes())
+	b.WriteByte(',')
+	writeList(ch.SupportedGroups())
+	b.WriteByte(',')
+	first := true
+	for _, f := range ch.ECPointFormats() {
+		if !first {
+			b.WriteByte('-')
+		}
+		first = false
+		b.WriteString(strconv.Itoa(int(f)))
+	}
+	s := b.String()
+	sum := md5.Sum([]byte(s))
+	return s, hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,110 @@
+package campus
+
+import (
+	"testing"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/ml"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/tracegen"
+)
+
+func trainBank(t testing.TB) *pipeline.Bank {
+	t.Helper()
+	g := tracegen.New(11)
+	ds, err := g.LabDataset(0.05, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: ml.ForestConfig{
+		NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bank
+}
+
+func TestSimulateProducesCalibratedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation is slow")
+	}
+	bank := trainBank(t)
+	res, err := Simulate(Config{Seed: 1, Days: 3, SessionsPerDay: 600}, bank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flows < 1000 {
+		t.Fatalf("flows = %d", res.Flows)
+	}
+
+	wt := res.Agg.WatchTimeByDevice()
+	// YouTube must dominate total watch time (Fig 7).
+	totals := map[fingerprint.Provider]float64{}
+	for prov, byDev := range wt {
+		for _, h := range byDev {
+			totals[prov] += h
+		}
+	}
+	if totals[fingerprint.YouTube] <= totals[fingerprint.Netflix] {
+		t.Errorf("YouTube hours (%v) not dominant over Netflix (%v)",
+			totals[fingerprint.YouTube], totals[fingerprint.Netflix])
+	}
+	// Subscription providers: PC > mobile; YouTube mobile share is large.
+	nf := wt[fingerprint.Netflix]
+	if nf["windows"]+nf["macOS"] <= nf["android"]+nf["iOS"] {
+		t.Error("Netflix should be PC-dominant")
+	}
+	yt := wt[fingerprint.YouTube]
+	mobileShare := (yt["android"] + yt["iOS"]) / totals[fingerprint.YouTube]
+	if mobileShare < 0.25 {
+		t.Errorf("YouTube mobile share = %.2f, want >= 0.25 (paper: up to 40%%)", mobileShare)
+	}
+
+	// Amazon on macOS must show the highest median bandwidth (Fig 9).
+	bw := res.Agg.BandwidthByDevice()
+	apMac := bw[fingerprint.Amazon]["macOS"].Median
+	if apMac < 4 {
+		t.Errorf("Amazon/macOS median = %.2f Mbps, want > 4", apMac)
+	}
+	apTV := bw[fingerprint.Amazon]["TV"].Median
+	if apMac <= apTV {
+		t.Errorf("Amazon mac (%v) should exceed TV (%v) (the paper's 50%% gap)", apMac, apTV)
+	}
+
+	// Evening peak (Fig 11): Netflix PC usage at 21h exceeds 10h.
+	pc, _ := res.Agg.HourlyUsage(fingerprint.Netflix)
+	if pc[21] <= pc[10] {
+		t.Errorf("Netflix pc usage 21h (%v) not above 10h (%v)", pc[21], pc[10])
+	}
+
+	// Classification exclusions stay moderate.
+	if f := res.Agg.ExcludedFraction(); f > 0.5 {
+		t.Errorf("excluded fraction = %.2f", f)
+	}
+}
+
+func TestHourWeightShapes(t *testing.T) {
+	// Netflix evening peak is sharper than YouTube's plateau.
+	if hourWeight(fingerprint.Netflix, 21) != 1.0 {
+		t.Error("netflix 21h should be peak")
+	}
+	if hourWeight(fingerprint.YouTube, 17) != 1.0 || hourWeight(fingerprint.YouTube, 23) != 1.0 {
+		t.Error("youtube 16-24h should be plateau")
+	}
+	if hourWeight(fingerprint.Netflix, 17) >= 1.0 {
+		t.Error("netflix 17h should be below peak")
+	}
+	if hourWeight(fingerprint.Amazon, 4) >= 0.3 {
+		t.Error("amazon 4am should be low")
+	}
+}
+
+func TestPlatformWeightsAreSupported(t *testing.T) {
+	for prov, weights := range platformWeights {
+		for label := range weights {
+			if !fingerprint.SupportMatrix(label, prov) {
+				t.Errorf("campus weight for unsupported combo %s/%s", label, prov)
+			}
+		}
+	}
+}

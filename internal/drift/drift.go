@@ -1,0 +1,214 @@
+// Package drift implements the concept-drift monitoring the paper's §5.3
+// calls for in production deployments: prediction accuracy and confidence
+// decay as user platforms update ("concept drift"), so the deployment team
+// must detect under-performing classifiers and retrain them.
+//
+// The Monitor keeps per-(provider, transport) rolling windows of prediction
+// confidence and unknown-rates. A classifier is flagged when its recent
+// median confidence falls a configurable margin below its baseline, or when
+// the share of rejected (unknown) flows exceeds a threshold — both symptoms
+// the paper associates with drifting traffic.
+package drift
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/pipeline"
+)
+
+// Config tunes detection.
+type Config struct {
+	// Window is the number of recent predictions per classifier considered
+	// "current" (default 500).
+	Window int
+	// Baseline is the number of initial predictions that form the
+	// reference distribution (default: same as Window).
+	Baseline int
+	// ConfidenceDrop flags a classifier when the current median confidence
+	// is below baseline median minus this margin (default 0.10).
+	ConfidenceDrop float64
+	// MaxUnknownRate flags a classifier when the current unknown-rate
+	// exceeds this value (default 0.35).
+	MaxUnknownRate float64
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 500
+	}
+	if c.Baseline <= 0 {
+		c.Baseline = c.Window
+	}
+	if c.ConfidenceDrop == 0 {
+		c.ConfidenceDrop = 0.10
+	}
+	if c.MaxUnknownRate == 0 {
+		c.MaxUnknownRate = 0.35
+	}
+}
+
+// key identifies one monitored classifier.
+type key struct {
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+}
+
+type series struct {
+	baseline     []float64 // first Baseline confidences
+	recent       []float64 // ring of last Window confidences
+	recentIdx    int
+	recentFull   bool
+	unknownRing  []bool
+	unknownIdx   int
+	unknownFull  bool
+	observations int
+}
+
+// Status is the monitor's verdict for one classifier.
+type Status struct {
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+
+	Observations   int
+	BaselineMedian float64
+	RecentMedian   float64
+	UnknownRate    float64
+	// Drifting reports whether retraining is recommended.
+	Drifting bool
+	Reason   string
+}
+
+// Monitor accumulates prediction outcomes. Safe for concurrent use.
+type Monitor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	series map[key]*series
+}
+
+// NewMonitor returns a Monitor with the given configuration.
+func NewMonitor(cfg Config) *Monitor {
+	cfg.defaults()
+	return &Monitor{cfg: cfg, series: map[key]*series{}}
+}
+
+// Observe records one classified flow.
+func (m *Monitor) Observe(rec *pipeline.FlowRecord) {
+	if !rec.Classified {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := key{rec.Provider, rec.Transport}
+	s := m.series[k]
+	if s == nil {
+		s = &series{
+			recent:      make([]float64, m.cfg.Window),
+			unknownRing: make([]bool, m.cfg.Window),
+		}
+		m.series[k] = s
+	}
+	s.observations++
+
+	conf := rec.Prediction.PlatformConf
+	unknown := rec.Prediction.Status == pipeline.Unknown
+	if len(s.baseline) < m.cfg.Baseline {
+		s.baseline = append(s.baseline, conf)
+	}
+	s.recent[s.recentIdx] = conf
+	s.recentIdx = (s.recentIdx + 1) % m.cfg.Window
+	if s.recentIdx == 0 {
+		s.recentFull = true
+	}
+	s.unknownRing[s.unknownIdx] = unknown
+	s.unknownIdx = (s.unknownIdx + 1) % m.cfg.Window
+	if s.unknownIdx == 0 {
+		s.unknownFull = true
+	}
+}
+
+// Statuses reports per-classifier drift verdicts, sorted by provider then
+// transport for stable output.
+func (m *Monitor) Statuses() []Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Status
+	for k, s := range m.series {
+		st := Status{Provider: k.Provider, Transport: k.Transport, Observations: s.observations}
+		st.BaselineMedian = median(s.baseline)
+		st.RecentMedian = median(s.recentWindow())
+		st.UnknownRate = s.unknownRate()
+		switch {
+		case s.observations < m.cfg.Baseline:
+			st.Reason = "warming up"
+		case st.RecentMedian < st.BaselineMedian-m.cfg.ConfidenceDrop:
+			st.Drifting = true
+			st.Reason = fmt.Sprintf("median confidence dropped %.0f%% -> %.0f%%",
+				st.BaselineMedian*100, st.RecentMedian*100)
+		case st.UnknownRate > m.cfg.MaxUnknownRate:
+			st.Drifting = true
+			st.Reason = fmt.Sprintf("unknown rate %.0f%% exceeds %.0f%%",
+				st.UnknownRate*100, m.cfg.MaxUnknownRate*100)
+		default:
+			st.Reason = "healthy"
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Provider != out[j].Provider {
+			return out[i].Provider < out[j].Provider
+		}
+		return out[i].Transport < out[j].Transport
+	})
+	return out
+}
+
+// NeedsRetraining lists the classifiers currently flagged.
+func (m *Monitor) NeedsRetraining() []Status {
+	var out []Status
+	for _, st := range m.Statuses() {
+		if st.Drifting {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func (s *series) recentWindow() []float64 {
+	if s.recentFull {
+		return s.recent
+	}
+	return s.recent[:s.recentIdx]
+}
+
+func (s *series) unknownRate() float64 {
+	ring := s.unknownRing
+	if !s.unknownFull {
+		ring = s.unknownRing[:s.unknownIdx]
+	}
+	if len(ring) == 0 {
+		return 0
+	}
+	n := 0
+	for _, u := range ring {
+		if u {
+			n++
+		}
+	}
+	return float64(n) / float64(len(ring))
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64{}, xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}

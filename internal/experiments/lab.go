@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/tracegen"
+)
+
+// Table1 regenerates the dataset-composition table: flows per (platform,
+// provider) in the rendered lab dataset, next to the paper's counts.
+func Table1(c *Context) (*Report, error) {
+	ds, err := c.LabDataset()
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{ID: "Table 1", Title: "Video flows per platform and provider (ours vs paper)"}
+	counts := map[string][4]int{}
+	for _, ft := range ds.Flows {
+		cell := counts[ft.Label]
+		cell[int(ft.Provider)]++
+		counts[ft.Label] = cell
+	}
+	r.Printf("%-26s %9s %9s %9s %9s", "platform", "YT", "NF", "DN", "AP")
+	total := 0
+	for _, label := range fingerprint.AllPlatformLabels() {
+		ours := counts[label]
+		paper := tracegen.Table1Counts[label]
+		row := fmt.Sprintf("%-26s", label)
+		for p := 0; p < 4; p++ {
+			row += fmt.Sprintf(" %4d/%-4d", ours[p], paper[p])
+			total += ours[p]
+		}
+		r.Lines = append(r.Lines, row)
+	}
+	r.Printf("total flows: %d (paper: ~10,000 at scale 1.0; scale=%.2f)", total, c.Scale)
+	r.Metric("total_flows", float64(total))
+	return r, nil
+}
+
+// Fig3 regenerates the handshake-field diversity bars for YouTube QUIC
+// flows: distinct values per field and platforms with a unique distribution.
+func Fig3(c *Context) (*Report, error) {
+	return fieldDiversity(c, Scenario{fingerprint.YouTube, fingerprint.QUIC},
+		"Fig 3", "Handshake field diversity, YouTube over QUIC")
+}
+
+// Fig13 regenerates the Appendix B diversity plots for the three TCP-only
+// providers.
+func Fig13(c *Context) ([]*Report, error) {
+	var out []*Report
+	for _, sc := range []Scenario{
+		{fingerprint.Netflix, fingerprint.TCP},
+		{fingerprint.Disney, fingerprint.TCP},
+		{fingerprint.Amazon, fingerprint.TCP},
+	} {
+		r, err := fieldDiversity(c, sc, "Fig 13",
+			fmt.Sprintf("Handshake field diversity, %s over TCP", sc.Provider))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func fieldDiversity(c *Context, sc Scenario, id, title string) (*Report, error) {
+	values, labels, err := c.LabValues(sc)
+	if err != nil {
+		return nil, err
+	}
+	attrs := features.ForTransport(sc.Transport == fingerprint.QUIC)
+	sums := features.Summarize(values, labels, attrs)
+	r := &Report{ID: id, Title: title}
+	r.Printf("%-42s %8s %14s", "field", "#values", "#uniq-platforms")
+	constant := 0
+	for _, s := range sums {
+		r.Printf("%-42s %8d %14d", s.Attr.Name, s.UniqueValues, s.UniquePlatforms)
+		r.Metric("unique_"+s.Attr.Label, float64(s.UniqueValues))
+		r.Metric("uniqplat_"+s.Attr.Label, float64(s.UniquePlatforms))
+		if s.UniqueValues <= 1 {
+			constant++
+		}
+	}
+	r.Printf("fields with a single value across all platforms: %d (paper: 7 for YT QUIC)", constant)
+	r.Metric("constant_fields", float64(constant))
+	return r, nil
+}
+
+// Fig12 regenerates the Appendix B heatmaps: normalized median value and
+// distinct-value count of every handshake field per platform, for YouTube
+// flows over QUIC (a) and TCP (b).
+func Fig12(c *Context) ([]*Report, error) {
+	var out []*Report
+	for _, sc := range []Scenario{
+		{fingerprint.YouTube, fingerprint.QUIC},
+		{fingerprint.YouTube, fingerprint.TCP},
+	} {
+		values, labels, err := c.LabValues(sc)
+		if err != nil {
+			return nil, err
+		}
+		quic := sc.Transport == fingerprint.QUIC
+		attrs := features.ForTransport(quic)
+		sums := features.Summarize(values, labels, attrs)
+
+		platforms := dedupSorted(labels)
+		r := &Report{ID: "Fig 12", Title: fmt.Sprintf(
+			"Median (normalized) and #unique values per field, YouTube over %s (%d platforms)",
+			strings.ToUpper(sc.Transport.String()), len(platforms))}
+		header := fmt.Sprintf("%-42s", "field")
+		for _, p := range platforms {
+			header += fmt.Sprintf(" %14s", shorten(p, 14))
+		}
+		r.Lines = append(r.Lines, header)
+		for _, s := range sums {
+			row := fmt.Sprintf("%-42s", s.Attr.Name)
+			for _, p := range platforms {
+				row += fmt.Sprintf("     (%.1f,%3d)", s.MedianByPlatform[p], s.UniqueByPlatform[p])
+			}
+			r.Lines = append(r.Lines, row)
+		}
+		r.Metric("platforms", float64(len(platforms)))
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func dedupSorted(labels []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func shorten(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

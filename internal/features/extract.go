@@ -1,0 +1,291 @@
+package features
+
+import (
+	"fmt"
+	"strconv"
+
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+	"videoplat/internal/wire"
+)
+
+// HandshakeInfo is the assembled handshake state of one video flow, the
+// input to attribute extraction. The pipeline builds it from the first few
+// packets of a flow (SYN + ClientHello for TCP, the Initial for QUIC).
+type HandshakeInfo struct {
+	QUIC           bool
+	InitPacketSize int
+	TTL            uint8
+
+	// TCP SYN fields.
+	TCPFlags  uint8
+	TCPWindow uint16
+	TCPMSS    uint16
+	TCPWScale int // -1 absent
+	TCPSACK   bool
+
+	Hello *tlsproto.ClientHello
+	// Params is parsed lazily from Hello's extension 57 when nil.
+	Params *quicproto.TransportParameters
+}
+
+// FieldValues holds extracted, typed attribute values keyed by Table 2
+// label. Absent attributes simply have no entry.
+type FieldValues struct {
+	Nums  map[string]float64
+	Cats  map[string]string
+	Lists map[string][]string
+}
+
+// NewFieldValues returns an empty value set.
+func NewFieldValues() *FieldValues {
+	return &FieldValues{
+		Nums:  map[string]float64{},
+		Cats:  map[string]string{},
+		Lists: map[string][]string{},
+	}
+}
+
+// greaseToken is the canonical token for any GREASE code point; collapsing
+// them keeps Chromium's per-flow random draws out of the vocabularies.
+const greaseToken = "GREASE"
+
+// Options tunes extraction; the zero value is the paper's configuration.
+type Options struct {
+	// KeepGrease disables GREASE normalization, leaving raw RFC 8701 code
+	// points in the token space (the ablation of DESIGN.md).
+	KeepGrease bool
+}
+
+func (o Options) suiteToken(v uint16) string {
+	if !o.KeepGrease && wire.IsGrease(v) {
+		return greaseToken
+	}
+	return "0x" + strconv.FormatUint(uint64(v), 16)
+}
+
+func (o Options) paramToken(id uint64) string {
+	if !o.KeepGrease && wire.GreaseTransportParam(id) {
+		return greaseToken
+	}
+	return "0x" + strconv.FormatUint(id, 16)
+}
+
+func bytesToken(b []byte) string { return fmt.Sprintf("%x", b) }
+
+// lengthValue encodes a length-typed attribute: 0 when the extension is
+// absent, 1+len(body) when present, so zero-length-but-present extensions
+// (session_ticket, SCT) remain distinguishable from absent ones.
+func lengthValue(n int) float64 {
+	if n < 0 {
+		return 0
+	}
+	return float64(1 + n)
+}
+
+// Extract derives the Table 2 field values from a handshake with default
+// options.
+func Extract(info *HandshakeInfo) *FieldValues {
+	return ExtractWithOptions(info, Options{})
+}
+
+// ExtractWithOptions derives the Table 2 field values from a handshake.
+func ExtractWithOptions(info *HandshakeInfo, o Options) *FieldValues {
+	v := NewFieldValues()
+	v.Nums["t1"] = float64(info.InitPacketSize)
+	v.Nums["t2"] = float64(info.TTL)
+
+	if !info.QUIC {
+		flagBits := []struct {
+			label string
+			bit   uint8
+		}{
+			{"t3", 1 << 7}, {"t4", 1 << 6}, {"t5", 1 << 5}, {"t6", 1 << 4},
+			{"t7", 1 << 3}, {"t8", 1 << 2}, {"t9", 1 << 1}, {"t10", 1 << 0},
+		}
+		for _, f := range flagBits {
+			if info.TCPFlags&f.bit != 0 {
+				v.Nums[f.label] = 1
+			} else {
+				v.Nums[f.label] = 0
+			}
+		}
+		v.Nums["t11"] = float64(info.TCPWindow)
+		v.Nums["t12"] = float64(info.TCPMSS)
+		if info.TCPWScale >= 0 {
+			v.Nums["t13"] = float64(info.TCPWScale)
+		} else {
+			v.Nums["t13"] = 0
+		}
+		if info.TCPSACK {
+			v.Nums["t14"] = 1
+		} else {
+			v.Nums["t14"] = 0
+		}
+	}
+
+	ch := info.Hello
+	if ch == nil {
+		return v
+	}
+	v.Nums["m1"] = float64(ch.HandshakeLength)
+	v.Cats["m2"] = "0x" + strconv.FormatUint(uint64(ch.LegacyVersion), 16)
+	suites := make([]string, 0, len(ch.CipherSuites))
+	for _, s := range ch.CipherSuites {
+		suites = append(suites, o.suiteToken(s))
+	}
+	v.Lists["m3"] = suites
+	v.Nums["m4"] = lengthValue(len(ch.CompressionMethods))
+	v.Nums["m5"] = float64(ch.ExtensionsLength)
+
+	exts := make([]string, 0, len(ch.Extensions))
+	for _, e := range ch.Extensions {
+		exts = append(exts, o.suiteToken(e.Type))
+	}
+	v.Lists["o1"] = exts
+	v.Nums["o2"] = lengthValue(extLenOrAbsent(ch, tlsproto.ExtServerName))
+	if t := ch.StatusRequestType(); t != 0 {
+		v.Cats["o3"] = strconv.Itoa(int(t))
+	}
+	v.Lists["o4"] = o.uint16Tokens(ch.SupportedGroups())
+	if pf := ch.ECPointFormats(); pf != nil {
+		v.Cats["o5"] = bytesToken(pf)
+	}
+	v.Lists["o6"] = o.uint16Tokens(ch.SignatureAlgorithms())
+	v.Lists["o7"] = ch.ALPNProtocols()
+	v.Nums["o8"] = lengthValue(extLenOrAbsent(ch, tlsproto.ExtSCT))
+	v.Nums["o9"] = lengthValue(extLenOrAbsent(ch, tlsproto.ExtPadding))
+	v.Nums["o10"] = presence(ch, tlsproto.ExtEncryptThenMac)
+	v.Nums["o11"] = presence(ch, tlsproto.ExtExtendedMasterSecret)
+	if algs := ch.CompressCertificateAlgorithms(); len(algs) > 0 {
+		v.Cats["o12"] = compressToken(algs)
+	}
+	if lim := ch.RecordSizeLimit(); lim > 0 {
+		v.Nums["o13"] = float64(lim)
+	} else {
+		v.Nums["o13"] = 0
+	}
+	v.Lists["o14"] = o.uint16Tokens(ch.DelegatedCredentials())
+	v.Nums["o15"] = lengthValue(extLenOrAbsent(ch, tlsproto.ExtSessionTicket))
+	v.Nums["o16"] = presence(ch, tlsproto.ExtPreSharedKey)
+	v.Nums["o17"] = lengthValue(extLenOrAbsent(ch, tlsproto.ExtEarlyData))
+	v.Lists["o18"] = o.uint16Tokens(ch.SupportedVersions())
+	if m := ch.PSKKeyExchangeModes(); m != nil {
+		v.Cats["o19"] = bytesToken(m)
+	}
+	v.Nums["o20"] = presence(ch, tlsproto.ExtPostHandshakeAuth)
+	v.Lists["o21"] = o.uint16Tokens(ch.KeyShareGroups())
+	v.Lists["o22"] = ch.ApplicationSettings()
+	v.Nums["o23"] = presence(ch, tlsproto.ExtRenegotiationInfo)
+
+	if info.QUIC {
+		extractQUIC(info, v, o)
+	}
+	return v
+}
+
+func extractQUIC(info *HandshakeInfo, v *FieldValues, o Options) {
+	tp := info.Params
+	if tp == nil && info.Hello != nil {
+		if e, ok := info.Hello.Extension(tlsproto.ExtQUICTransportParams); ok {
+			tp, _ = quicproto.ParseTransportParameters(e.Data)
+		}
+	}
+	if tp == nil {
+		return
+	}
+	ids := make([]string, 0, len(tp.Params))
+	for _, id := range tp.IDs() {
+		ids = append(ids, o.paramToken(id))
+	}
+	v.Lists["q1"] = ids
+
+	numeric := []struct {
+		label string
+		id    uint64
+	}{
+		{"q2", quicproto.ParamMaxIdleTimeout},
+		{"q3", quicproto.ParamMaxUDPPayloadSize},
+		{"q4", quicproto.ParamInitialMaxData},
+		{"q5", quicproto.ParamInitialMaxStreamDataBidiLocal},
+		{"q6", quicproto.ParamInitialMaxStreamDataBidiRemote},
+		{"q7", quicproto.ParamInitialMaxStreamDataUni},
+		{"q8", quicproto.ParamInitialMaxStreamsBidi},
+		{"q9", quicproto.ParamInitialMaxStreamsUni},
+		{"q10", quicproto.ParamMaxAckDelay},
+		{"q12", quicproto.ParamActiveConnectionIDLimit},
+		{"q14", quicproto.ParamMaxDatagramFrameSize},
+	}
+	for _, n := range numeric {
+		if val, ok := tp.Uint(n.id); ok {
+			v.Nums[n.label] = float64(val)
+		} else {
+			v.Nums[n.label] = 0
+		}
+	}
+	v.Nums["q11"] = presenceTP(tp, quicproto.ParamDisableActiveMigration)
+	v.Nums["q13"] = lengthValue(tp.ValueLen(quicproto.ParamInitialSourceConnectionID))
+	v.Nums["q15"] = presenceTP(tp, quicproto.ParamGreaseQuicBit)
+	v.Nums["q16"] = presenceTP(tp, quicproto.ParamInitialRTT)
+	if p, ok := tp.Get(quicproto.ParamGoogleConnectionOptions); ok {
+		v.Cats["q17"] = string(p.Value)
+	}
+	if p, ok := tp.Get(quicproto.ParamUserAgent); ok {
+		v.Cats["q18"] = string(p.Value)
+	}
+	if p, ok := tp.Get(quicproto.ParamGoogleVersion); ok {
+		v.Cats["q19"] = string(p.Value)
+	}
+	if p, ok := tp.Get(quicproto.ParamVersionInformation); ok {
+		v.Cats["q20"] = bytesToken(p.Value)
+	}
+}
+
+func extLenOrAbsent(ch *tlsproto.ClientHello, typ uint16) int { return ch.ExtensionLen(typ) }
+
+func presence(ch *tlsproto.ClientHello, typ uint16) float64 {
+	if ch.HasExtension(typ) {
+		return 1
+	}
+	return 0
+}
+
+func presenceTP(tp *quicproto.TransportParameters, id uint64) float64 {
+	if tp.Has(id) {
+		return 1
+	}
+	return 0
+}
+
+func (o Options) uint16Tokens(vals []uint16) []string {
+	if vals == nil {
+		return nil
+	}
+	out := make([]string, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, o.suiteToken(v))
+	}
+	return out
+}
+
+// compressToken maps certificate-compression algorithm lists to readable
+// tokens (the paper's zlib/brotli example of §3.3.2).
+func compressToken(algs []uint16) string {
+	names := ""
+	for i, a := range algs {
+		if i > 0 {
+			names += ","
+		}
+		switch a {
+		case 1:
+			names += "zlib"
+		case 2:
+			names += "brotli"
+		case 3:
+			names += "zstd"
+		default:
+			names += "0x" + strconv.FormatUint(uint64(a), 16)
+		}
+	}
+	return names
+}

@@ -1,0 +1,46 @@
+package features
+
+import "videoplat/internal/fingerprint"
+
+// FromFlow assembles a HandshakeInfo directly from a fingerprint flow
+// description, bypassing packet rendering. hops is the number of routers
+// between the client and the tap (the trace generator draws 1–3), which
+// decrements the observed TTL. The campus-scale simulator uses this fast
+// path; the packet path (pipeline.ExtractFrames) is exercised by the lab
+// experiments and produces identical values for equal hop counts.
+func FromFlow(f *fingerprint.Flow, hops uint8) *HandshakeInfo {
+	info := &HandshakeInfo{
+		QUIC:  f.Transport == fingerprint.QUIC,
+		TTL:   f.TTL - hops,
+		Hello: f.Hello,
+	}
+	if info.QUIC {
+		info.InitPacketSize = f.QUICTargetSize
+		info.TCPWScale = -1
+	} else {
+		// IP packet size of the SYN: 20 IP + 20 TCP + options. The options
+		// block mirrors tracegen's SYN rendering (MSS 4, SACK 2+2 NOPs,
+		// timestamps 10, wscale 3+1 NOP, padded to 4).
+		opt := 4
+		if f.SACK {
+			opt += 4
+		}
+		if f.Timestamps {
+			opt += 10
+		}
+		if f.WScale >= 0 {
+			opt += 4
+		}
+		opt = (opt + 3) / 4 * 4
+		info.InitPacketSize = 40 + opt
+		info.TCPFlags = 0x02
+		if f.ECN {
+			info.TCPFlags |= 0xc0
+		}
+		info.TCPWindow = f.Window
+		info.TCPMSS = f.MSS
+		info.TCPWScale = f.WScale
+		info.TCPSACK = f.SACK
+	}
+	return info
+}

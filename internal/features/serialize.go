@@ -1,0 +1,51 @@
+package features
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+type encoderDTO struct {
+	Labels []string
+	Vocabs map[string]map[string]int
+	QUIC   bool
+}
+
+// MarshalBinary serializes the fitted encoder (attribute subset and
+// vocabularies) with encoding/gob.
+func (e *Encoder) MarshalBinary() ([]byte, error) {
+	dto := encoderDTO{Vocabs: e.vocabs}
+	for _, a := range e.Attrs {
+		dto.Labels = append(dto.Labels, a.Label)
+	}
+	// Recover transport from the attribute set: QUIC sets carry q-labels,
+	// TCP sets carry t3+.
+	for _, a := range e.Attrs {
+		if a.Scope == QUICOnly {
+			dto.QUIC = true
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(dto); err != nil {
+		return nil, fmt.Errorf("features: encoding encoder: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores an encoder serialized by MarshalBinary.
+func (e *Encoder) UnmarshalBinary(data []byte) error {
+	var dto encoderDTO
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
+		return fmt.Errorf("features: decoding encoder: %w", err)
+	}
+	ne, err := NewEncoder(dto.QUIC, dto.Labels)
+	if err != nil {
+		return err
+	}
+	*e = *ne
+	if dto.Vocabs != nil {
+		e.vocabs = dto.Vocabs
+	}
+	return nil
+}

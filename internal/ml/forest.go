@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"math"
+	"math/rand/v2"
+	"runtime"
+	"sync"
+)
+
+// ForestConfig are the random-forest hyperparameters of §4.3.1: number of
+// trees, maximum depth and the number of candidate attributes per split.
+type ForestConfig struct {
+	NumTrees       int
+	MaxDepth       int
+	MaxFeatures    int // 0 = sqrt(total features)
+	MinSamplesLeaf int
+	Seed           uint64
+}
+
+// RandomForest is a bagged ensemble of CART trees; PredictProba averages the
+// member leaf distributions, giving the confidence score used by the
+// pipeline's 80% selector.
+type RandomForest struct {
+	Config ForestConfig
+	trees  []*DecisionTree
+}
+
+// Fit trains the ensemble on bootstrap samples of d. Training is
+// parallelized across trees.
+func (f *RandomForest) Fit(d *Dataset) {
+	cfg := f.Config
+	if cfg.NumTrees <= 0 {
+		cfg.NumTrees = 50
+	}
+	maxFeat := cfg.MaxFeatures
+	if maxFeat <= 0 {
+		maxFeat = int(math.Sqrt(float64(d.NumFeatures())))
+		if maxFeat < 1 {
+			maxFeat = 1
+		}
+	}
+	f.trees = make([]*DecisionTree, cfg.NumTrees)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.NumTrees {
+		workers = cfg.NumTrees
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range jobs {
+				rng := rand.New(rand.NewPCG(cfg.Seed, uint64(ti)*0x9e3779b97f4a7c15+1))
+				rows := make([]int, d.Len())
+				for i := range rows {
+					rows[i] = rng.IntN(d.Len())
+				}
+				tree := &DecisionTree{Config: TreeConfig{
+					MaxDepth:       cfg.MaxDepth,
+					MinSamplesLeaf: cfg.MinSamplesLeaf,
+					MaxFeatures:    maxFeat,
+					Seed:           cfg.Seed ^ uint64(ti),
+				}}
+				tree.FitRows(d, rows)
+				f.trees[ti] = tree
+			}
+		}()
+	}
+	for ti := 0; ti < cfg.NumTrees; ti++ {
+		jobs <- ti
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// PredictProba averages member probabilities.
+func (f *RandomForest) PredictProba(x []float64) []float64 {
+	var out []float64
+	for _, t := range f.trees {
+		p := t.PredictProba(x)
+		if out == nil {
+			out = make([]float64, len(p))
+		}
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(f.trees))
+	}
+	return out
+}
+
+// NumTrees reports the trained ensemble size.
+func (f *RandomForest) NumTrees() int { return len(f.trees) }

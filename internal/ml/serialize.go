@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// flatNode is the serialized form of a tree node; Left/Right index into the
+// flattened node array, -1 for leaves.
+type flatNode struct {
+	Feature     int
+	Threshold   float64
+	Left, Right int
+	Proba       []float64
+}
+
+type flatTree struct {
+	Config TreeConfig
+	Nodes  []flatNode
+}
+
+type flatForest struct {
+	Config ForestConfig
+	Trees  []flatTree
+}
+
+func flatten(n *node, nodes *[]flatNode) int {
+	idx := len(*nodes)
+	*nodes = append(*nodes, flatNode{Left: -1, Right: -1})
+	if n.isLeaf() {
+		(*nodes)[idx].Proba = n.proba
+		return idx
+	}
+	(*nodes)[idx].Feature = n.feature
+	(*nodes)[idx].Threshold = n.threshold
+	l := flatten(n.left, nodes)
+	r := flatten(n.right, nodes)
+	(*nodes)[idx].Left = l
+	(*nodes)[idx].Right = r
+	return idx
+}
+
+func unflatten(nodes []flatNode, idx int) (*node, error) {
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("ml: node index %d out of range", idx)
+	}
+	fn := nodes[idx]
+	if fn.Left < 0 {
+		return &node{proba: fn.Proba}, nil
+	}
+	left, err := unflatten(nodes, fn.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := unflatten(nodes, fn.Right)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: fn.Feature, threshold: fn.Threshold, left: left, right: right}, nil
+}
+
+// MarshalBinary serializes the trained forest with encoding/gob.
+func (f *RandomForest) MarshalBinary() ([]byte, error) {
+	ff := flatForest{Config: f.Config}
+	for _, t := range f.trees {
+		ft := flatTree{Config: t.Config}
+		flatten(t.root, &ft.Nodes)
+		ff.Trees = append(ff.Trees, ft)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ff); err != nil {
+		return nil, fmt.Errorf("ml: encoding forest: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a forest serialized by MarshalBinary.
+func (f *RandomForest) UnmarshalBinary(data []byte) error {
+	var ff flatForest
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ff); err != nil {
+		return fmt.Errorf("ml: decoding forest: %w", err)
+	}
+	f.Config = ff.Config
+	f.trees = nil
+	for _, ft := range ff.Trees {
+		root, err := unflatten(ft.Nodes, 0)
+		if err != nil {
+			return err
+		}
+		nClasses := 0
+		if len(ft.Nodes) > 0 {
+			for _, n := range ft.Nodes {
+				if len(n.Proba) > nClasses {
+					nClasses = len(n.Proba)
+				}
+			}
+		}
+		f.trees = append(f.trees, &DecisionTree{Config: ft.Config, root: root, classes: nClasses})
+	}
+	return nil
+}

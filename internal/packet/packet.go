@@ -1,0 +1,403 @@
+// Package packet decodes and serializes the link, network and transport
+// layers needed to analyze video-streaming handshakes: Ethernet, IPv4, IPv6,
+// TCP (with options) and UDP.
+//
+// The decoding style follows gopacket's DecodingLayerParser idiom: a Parser
+// decodes into preallocated layer structs with no per-packet allocation, so a
+// single Parser can sustain line-rate parsing on one goroutine. Parsers are
+// not safe for concurrent use; create one per goroutine.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Errors returned by the decoders.
+var (
+	ErrTruncated   = errors.New("packet: truncated")
+	ErrUnsupported = errors.New("packet: unsupported layer")
+)
+
+// EtherType values used by this package.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeIPv6 uint16 = 0x86dd
+)
+
+// IP protocol numbers.
+const (
+	ProtoTCP uint8 = 6
+	ProtoUDP uint8 = 17
+)
+
+// Ethernet is a decoded Ethernet II header.
+type Ethernet struct {
+	Src, Dst  [6]byte
+	EtherType uint16
+}
+
+// Decode parses an Ethernet II frame and returns its payload.
+func (e *Ethernet) Decode(b []byte) (payload []byte, err error) {
+	if len(b) < 14 {
+		return nil, ErrTruncated
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[14:], nil
+}
+
+// Append serializes the header followed by payload onto dst.
+func (e *Ethernet) Append(dst, payload []byte) []byte {
+	dst = append(dst, e.Dst[:]...)
+	dst = append(dst, e.Src[:]...)
+	dst = binary.BigEndian.AppendUint16(dst, e.EtherType)
+	return append(dst, payload...)
+}
+
+// IPv4 is a decoded IPv4 header. Options are preserved verbatim.
+type IPv4 struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment field
+	FragOff  uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16
+	Src, Dst netip.Addr
+	Options  []byte
+}
+
+// Decode parses an IPv4 header and returns its payload (respecting TotalLen).
+func (ip *IPv4) Decode(b []byte) (payload []byte, err error) {
+	if len(b) < 20 {
+		return nil, ErrTruncated
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: IPv4 version %d: %w", v, ErrUnsupported)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < 20 || len(b) < ihl {
+		return nil, ErrTruncated
+	}
+	ip.TOS = b[1]
+	ip.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	ip.ID = binary.BigEndian.Uint16(b[4:6])
+	frag := binary.BigEndian.Uint16(b[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOff = frag & 0x1fff
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:12])
+	ip.Src = netip.AddrFrom4([4]byte(b[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(b[16:20]))
+	ip.Options = b[20:ihl]
+	end := int(ip.TotalLen)
+	if end < ihl || end > len(b) {
+		end = len(b)
+	}
+	return b[ihl:end], nil
+}
+
+// Append serializes the header (with a correct checksum and TotalLen) followed
+// by payload onto dst.
+func (ip *IPv4) Append(dst, payload []byte) []byte {
+	ihl := 20 + len(ip.Options)
+	if ihl%4 != 0 {
+		panic("packet: IPv4 options not 32-bit aligned")
+	}
+	total := ihl + len(payload)
+	start := len(dst)
+	dst = append(dst, byte(4<<4|ihl/4), ip.TOS)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = binary.BigEndian.AppendUint16(dst, ip.ID)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(ip.Flags)<<13|ip.FragOff&0x1fff)
+	dst = append(dst, ip.TTL, ip.Protocol, 0, 0)
+	src, dstAddr := ip.Src.As4(), ip.Dst.As4()
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstAddr[:]...)
+	dst = append(dst, ip.Options...)
+	ck := Checksum(dst[start : start+ihl])
+	binary.BigEndian.PutUint16(dst[start+10:], ck)
+	return append(dst, payload...)
+}
+
+// IPv6 is a decoded IPv6 header. Extension headers are not walked; Protocol
+// is the NextHeader value.
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	Protocol     uint8 // NextHeader
+	HopLimit     uint8
+	Src, Dst     netip.Addr
+}
+
+// Decode parses an IPv6 fixed header and returns its payload.
+func (ip *IPv6) Decode(b []byte) (payload []byte, err error) {
+	if len(b) < 40 {
+		return nil, ErrTruncated
+	}
+	if v := b[0] >> 4; v != 6 {
+		return nil, fmt.Errorf("packet: IPv6 version %d: %w", v, ErrUnsupported)
+	}
+	ip.TrafficClass = b[0]<<4 | b[1]>>4
+	ip.FlowLabel = binary.BigEndian.Uint32(b[0:4]) & 0xfffff
+	ip.PayloadLen = binary.BigEndian.Uint16(b[4:6])
+	ip.Protocol = b[6]
+	ip.HopLimit = b[7]
+	ip.Src = netip.AddrFrom16([16]byte(b[8:24]))
+	ip.Dst = netip.AddrFrom16([16]byte(b[24:40]))
+	end := 40 + int(ip.PayloadLen)
+	if end > len(b) {
+		end = len(b)
+	}
+	return b[40:end], nil
+}
+
+// Append serializes the header followed by payload onto dst.
+func (ip *IPv6) Append(dst, payload []byte) []byte {
+	first := binary.BigEndian.AppendUint32(nil,
+		6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	dst = append(dst, first...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(payload)))
+	dst = append(dst, ip.Protocol, ip.HopLimit)
+	src, dstAddr := ip.Src.As16(), ip.Dst.As16()
+	dst = append(dst, src[:]...)
+	dst = append(dst, dstAddr[:]...)
+	return append(dst, payload...)
+}
+
+// TCP flag bits.
+const (
+	FlagFIN uint8 = 1 << 0
+	FlagSYN uint8 = 1 << 1
+	FlagRST uint8 = 1 << 2
+	FlagPSH uint8 = 1 << 3
+	FlagACK uint8 = 1 << 4
+	FlagURG uint8 = 1 << 5
+	FlagECE uint8 = 1 << 6
+	FlagCWR uint8 = 1 << 7
+)
+
+// TCPOption kinds used in connection-establishment fingerprinting.
+const (
+	OptEnd           uint8 = 0
+	OptNOP           uint8 = 1
+	OptMSS           uint8 = 2
+	OptWindowScale   uint8 = 3
+	OptSACKPermitted uint8 = 4
+	OptTimestamps    uint8 = 8
+)
+
+// TCPOption is a single decoded TCP option.
+type TCPOption struct {
+	Kind uint8
+	Data []byte // option payload, excluding kind and length octets
+}
+
+// TCP is a decoded TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	Options          []TCPOption
+
+	optStorage [8]TCPOption // backing array so decoding stays allocation-free
+}
+
+// Decode parses a TCP header and returns its payload.
+func (t *TCP) Decode(b []byte) (payload []byte, err error) {
+	if len(b) < 20 {
+		return nil, ErrTruncated
+	}
+	dataOff := int(b[12]>>4) * 4
+	if dataOff < 20 || len(b) < dataOff {
+		return nil, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	t.DstPort = binary.BigEndian.Uint16(b[2:4])
+	t.Seq = binary.BigEndian.Uint32(b[4:8])
+	t.Ack = binary.BigEndian.Uint32(b[8:12])
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:16])
+	t.Checksum = binary.BigEndian.Uint16(b[16:18])
+	t.Urgent = binary.BigEndian.Uint16(b[18:20])
+	t.Options = t.optStorage[:0]
+	opts := b[20:dataOff]
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case OptEnd:
+			opts = nil
+		case OptNOP:
+			t.Options = append(t.Options, TCPOption{Kind: OptNOP})
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return nil, ErrTruncated
+			}
+			olen := int(opts[1])
+			if olen < 2 || olen > len(opts) {
+				return nil, ErrTruncated
+			}
+			t.Options = append(t.Options, TCPOption{Kind: kind, Data: opts[2:olen]})
+			opts = opts[olen:]
+		}
+	}
+	return b[dataOff:], nil
+}
+
+// Option returns the first option with the given kind, or nil.
+func (t *TCP) Option(kind uint8) *TCPOption {
+	for i := range t.Options {
+		if t.Options[i].Kind == kind {
+			return &t.Options[i]
+		}
+	}
+	return nil
+}
+
+// MSS returns the maximum segment size option value, or 0 if absent.
+func (t *TCP) MSS() uint16 {
+	if o := t.Option(OptMSS); o != nil && len(o.Data) == 2 {
+		return binary.BigEndian.Uint16(o.Data)
+	}
+	return 0
+}
+
+// WindowScale returns the window scale shift, or -1 if absent.
+func (t *TCP) WindowScale() int {
+	if o := t.Option(OptWindowScale); o != nil && len(o.Data) == 1 {
+		return int(o.Data[0])
+	}
+	return -1
+}
+
+// SACKPermitted reports whether the SACK-permitted option is present.
+func (t *TCP) SACKPermitted() bool { return t.Option(OptSACKPermitted) != nil }
+
+// Append serializes the header followed by payload onto dst. The checksum is
+// computed over the IPv4 pseudo-header formed from src and dst addresses; for
+// IPv6 use AppendWithPseudo.
+func (t *TCP) Append(dst, payload []byte, src, dstAddr netip.Addr) []byte {
+	optLen := 0
+	for _, o := range t.Options {
+		if o.Kind == OptNOP || o.Kind == OptEnd {
+			optLen++
+		} else {
+			optLen += 2 + len(o.Data)
+		}
+	}
+	pad := (4 - optLen%4) % 4
+	dataOff := 20 + optLen + pad
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, t.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, t.DstPort)
+	dst = binary.BigEndian.AppendUint32(dst, t.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, t.Ack)
+	dst = append(dst, byte(dataOff/4)<<4, t.Flags)
+	dst = binary.BigEndian.AppendUint16(dst, t.Window)
+	dst = append(dst, 0, 0) // checksum placeholder
+	dst = binary.BigEndian.AppendUint16(dst, t.Urgent)
+	for _, o := range t.Options {
+		if o.Kind == OptNOP || o.Kind == OptEnd {
+			dst = append(dst, o.Kind)
+			continue
+		}
+		dst = append(dst, o.Kind, byte(2+len(o.Data)))
+		dst = append(dst, o.Data...)
+	}
+	for i := 0; i < pad; i++ {
+		dst = append(dst, OptEnd)
+	}
+	dst = append(dst, payload...)
+	seg := dst[start:]
+	ck := pseudoChecksum(src, dstAddr, ProtoTCP, seg)
+	binary.BigEndian.PutUint16(dst[start+16:], ck)
+	return dst
+}
+
+// UDP is a decoded UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// Decode parses a UDP header and returns its payload (respecting Length).
+func (u *UDP) Decode(b []byte) (payload []byte, err error) {
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	u.DstPort = binary.BigEndian.Uint16(b[2:4])
+	u.Length = binary.BigEndian.Uint16(b[4:6])
+	u.Checksum = binary.BigEndian.Uint16(b[6:8])
+	end := int(u.Length)
+	if end < 8 || end > len(b) {
+		end = len(b)
+	}
+	return b[8:end], nil
+}
+
+// Append serializes the header followed by payload onto dst, computing the
+// checksum over the pseudo-header for src/dst.
+func (u *UDP) Append(dst, payload []byte, src, dstAddr netip.Addr) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, u.SrcPort)
+	dst = binary.BigEndian.AppendUint16(dst, u.DstPort)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(8+len(payload)))
+	dst = append(dst, 0, 0)
+	dst = append(dst, payload...)
+	ck := pseudoChecksum(src, dstAddr, ProtoUDP, dst[start:])
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(dst[start+6:], ck)
+	return dst
+}
+
+// Checksum computes the RFC 1071 Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum > 0xffff {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+func pseudoChecksum(src, dst netip.Addr, proto uint8, segment []byte) uint16 {
+	var pseudo []byte
+	if src.Is4() && dst.Is4() {
+		s, d := src.As4(), dst.As4()
+		pseudo = make([]byte, 0, 12+len(segment))
+		pseudo = append(pseudo, s[:]...)
+		pseudo = append(pseudo, d[:]...)
+		pseudo = append(pseudo, 0, proto)
+		pseudo = binary.BigEndian.AppendUint16(pseudo, uint16(len(segment)))
+	} else {
+		s, d := src.As16(), dst.As16()
+		pseudo = make([]byte, 0, 40+len(segment))
+		pseudo = append(pseudo, s[:]...)
+		pseudo = append(pseudo, d[:]...)
+		pseudo = binary.BigEndian.AppendUint32(pseudo, uint32(len(segment)))
+		pseudo = append(pseudo, 0, 0, 0, proto)
+	}
+	pseudo = append(pseudo, segment...)
+	return Checksum(pseudo)
+}

@@ -1,0 +1,171 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+)
+
+func TestNGRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewNGWriter(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := time.Date(2023, 9, 1, 8, 30, 0, 250_000_000, time.UTC)
+	pkts := [][]byte{{1}, {2, 3, 4}, make([]byte, 1500)}
+	for i, p := range pkts {
+		if err := w.WritePacket(ts.Add(time.Duration(i)*time.Minute), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := NewNGReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(got.Data, want) {
+			t.Errorf("packet %d: %d bytes, want %d", i, len(got.Data), len(want))
+		}
+		wantTS := ts.Add(time.Duration(i) * time.Minute)
+		if !got.Timestamp.Equal(wantTS) {
+			t.Errorf("packet %d ts = %v, want %v", i, got.Timestamp, wantTS)
+		}
+		if got.OrigLen != len(want) {
+			t.Errorf("packet %d origlen = %d", i, got.OrigLen)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("err = %v, want EOF", err)
+	}
+}
+
+func TestNGRejectsClassicPcap(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	_ = w.WritePacket(time.Unix(0, 0), []byte{1})
+	if _, err := NewNGReader(bytes.NewReader(buf.Bytes())); err != ErrNotPcapNG {
+		t.Errorf("err = %v, want ErrNotPcapNG", err)
+	}
+}
+
+func TestNGSkipsUnknownBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNGWriter(&buf, 0)
+	// Inject an unknown block (e.g. name resolution, type 4) between header
+	// and packet.
+	le := binary.LittleEndian
+	unknown := make([]byte, 16)
+	le.PutUint32(unknown[0:], 0x00000004)
+	le.PutUint32(unknown[4:], 16)
+	le.PutUint32(unknown[12:], 16)
+	buf.Write(unknown)
+	_ = w.WritePacket(time.Unix(100, 0), []byte{9, 9})
+
+	r, err := NewNGReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, []byte{9, 9}) {
+		t.Errorf("data = %v", got.Data)
+	}
+}
+
+func TestNGNanosecondResolution(t *testing.T) {
+	// Build an interface block advertising 10^-9 resolution and a packet
+	// timestamped in nanoseconds.
+	var buf bytes.Buffer
+	le := binary.LittleEndian
+	shb := make([]byte, 28)
+	le.PutUint32(shb[0:], blockSectionHeader)
+	le.PutUint32(shb[4:], 28)
+	le.PutUint32(shb[8:], byteOrderMagic)
+	le.PutUint16(shb[12:], 1)
+	le.PutUint32(shb[24:], 28)
+	buf.Write(shb)
+
+	idb := make([]byte, 28)
+	le.PutUint32(idb[0:], blockInterfaceDesc)
+	le.PutUint32(idb[4:], 28)
+	le.PutUint16(idb[8:], LinkTypeEthernet)
+	le.PutUint32(idb[12:], 65535)
+	// option: if_tsresol = 9 (10^-9)
+	le.PutUint16(idb[16:], optIfTsResol)
+	le.PutUint16(idb[18:], 1)
+	idb[20] = 9
+	le.PutUint32(idb[24:], 28)
+	buf.Write(idb)
+
+	epb := make([]byte, 36)
+	le.PutUint32(epb[0:], blockEnhancedPacket)
+	le.PutUint32(epb[4:], 36)
+	le.PutUint32(epb[8:], 0)
+	ns := uint64(1_700_000_000_123_456_789)
+	le.PutUint32(epb[12:], uint32(ns>>32))
+	le.PutUint32(epb[16:], uint32(ns))
+	le.PutUint32(epb[20:], 2)
+	le.PutUint32(epb[24:], 2)
+	epb[28], epb[29] = 0xaa, 0xbb
+	le.PutUint32(epb[32:], 36)
+	buf.Write(epb)
+
+	r, err := NewNGReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Timestamp.UnixNano() != int64(ns) {
+		t.Errorf("ts = %d ns, want %d", got.Timestamp.UnixNano(), ns)
+	}
+}
+
+func TestOpenReaderSniffsBothFormats(t *testing.T) {
+	var classic bytes.Buffer
+	cw, _ := NewWriter(&classic, 0)
+	_ = cw.WritePacket(time.Unix(1, 0), []byte{1, 2})
+
+	var ng bytes.Buffer
+	nw, _ := NewNGWriter(&ng, 0)
+	_ = nw.WritePacket(time.Unix(1, 0), []byte{3, 4})
+
+	for name, raw := range map[string][]byte{"classic": classic.Bytes(), "ng": ng.Bytes()} {
+		r, err := OpenReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		pkt, err := r.Next()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(pkt.Data) != 2 {
+			t.Errorf("%s: data = %v", name, pkt.Data)
+		}
+	}
+}
+
+func TestNGTruncatedBlock(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewNGWriter(&buf, 0)
+	_ = w.WritePacket(time.Unix(5, 0), []byte{1, 2, 3, 4, 5})
+	raw := buf.Bytes()
+	r, err := NewNGReader(bytes.NewReader(raw[:len(raw)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil || err == io.EOF {
+		t.Errorf("err = %v, want decode error", err)
+	}
+}

@@ -1,0 +1,231 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/ml"
+	"videoplat/internal/tracegen"
+)
+
+// Objective selects what a classifier predicts (§4.1: composite user
+// platform, device type only, or software agent only).
+type Objective uint8
+
+// Prediction objectives.
+const (
+	PlatformObjective Objective = iota
+	DeviceObjective
+	AgentObjective
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case PlatformObjective:
+		return "user platform"
+	case DeviceObjective:
+		return "device type"
+	default:
+		return "software agent"
+	}
+}
+
+// Model is one trained classifier: its fitted encoder, forest and class
+// universe.
+type Model struct {
+	Encoder *features.Encoder
+	Forest  *ml.RandomForest
+	Classes []string
+}
+
+// Predict classifies one handshake.
+func (m *Model) Predict(v *features.FieldValues) (string, float64) {
+	x := m.Encoder.Transform(v)
+	ci, conf := ml.Predict(m.Forest, x)
+	return m.Classes[ci], conf
+}
+
+// bankKey identifies a model in the bank.
+type bankKey struct {
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+	Objective Objective
+}
+
+// Bank is the classifier bank of Fig 4: three objectives per provider, with
+// separate models per transport (YouTube has both TCP and QUIC models, so a
+// full bank holds 15 models; the paper counts 12 classifiers by provider ×
+// objective).
+type Bank struct {
+	models map[bankKey]*Model
+	Config ml.ForestConfig
+}
+
+// TrainConfig controls bank training.
+type TrainConfig struct {
+	Forest ml.ForestConfig
+	// Subset restricts the attribute set by Table 2 labels (nil = all
+	// applicable attributes, the deployed configuration).
+	Subset []string
+}
+
+// DefaultForestConfig mirrors the paper's selected hyperparameters:
+// depth 20 with 34 candidate attributes per split performed best in Fig 6(a).
+func DefaultForestConfig() ml.ForestConfig {
+	return ml.ForestConfig{NumTrees: 40, MaxDepth: 20, MaxFeatures: 34, Seed: 1}
+}
+
+// TrainBank trains models for every (provider, transport, objective) with
+// data in the dataset.
+func TrainBank(ds *tracegen.Dataset, cfg TrainConfig) (*Bank, error) {
+	if cfg.Forest.NumTrees == 0 {
+		cfg.Forest = DefaultForestConfig()
+	}
+	b := &Bank{models: map[bankKey]*Model{}, Config: cfg.Forest}
+
+	type group struct {
+		values []*features.FieldValues
+		labels []string
+	}
+	groups := map[[2]int]*group{}
+	for _, ft := range ds.Flows {
+		info, err := ExtractTrace(ft)
+		if err != nil {
+			return nil, err
+		}
+		v := features.Extract(info)
+		k := [2]int{int(ft.Provider), int(ft.Transport)}
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+		}
+		g.values = append(g.values, v)
+		g.labels = append(g.labels, ft.Label)
+	}
+
+	for k, g := range groups {
+		prov := fingerprint.Provider(k[0])
+		tr := fingerprint.Transport(k[1])
+		for _, obj := range []Objective{PlatformObjective, DeviceObjective, AgentObjective} {
+			m, err := trainOne(g.values, g.labels, tr == fingerprint.QUIC, obj, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: training %s/%s/%s: %w", prov, tr, obj, err)
+			}
+			b.models[bankKey{prov, tr, obj}] = m
+		}
+	}
+	return b, nil
+}
+
+func trainOne(values []*features.FieldValues, labels []string, quic bool, obj Objective, cfg TrainConfig) (*Model, error) {
+	enc, err := features.NewEncoder(quic, cfg.Subset)
+	if err != nil {
+		return nil, err
+	}
+	enc.Fit(values)
+	x := enc.TransformAll(values)
+
+	objLabels := make([]string, len(labels))
+	for i, l := range labels {
+		objLabels[i] = objectiveLabel(l, obj)
+	}
+	d, err := ml.NewDataset(x, objLabels)
+	if err != nil {
+		return nil, err
+	}
+	forest := &ml.RandomForest{Config: cfg.Forest}
+	forest.Fit(d)
+	return &Model{Encoder: enc, Forest: forest, Classes: d.Classes}, nil
+}
+
+func objectiveLabel(label string, obj Objective) string {
+	switch obj {
+	case DeviceObjective:
+		return DeviceOf(label)
+	case AgentObjective:
+		return AgentOf(label)
+	default:
+		return label
+	}
+}
+
+// Model returns the trained model for a key, or nil.
+func (b *Bank) Model(prov fingerprint.Provider, tr fingerprint.Transport, obj Objective) *Model {
+	return b.models[bankKey{prov, tr, obj}]
+}
+
+// ConfidenceThreshold is the §4.1 cutoff below which the composite
+// prediction is not trusted.
+const ConfidenceThreshold = 0.8
+
+// Status describes how much of the user platform was confidently predicted.
+type Status uint8
+
+// Prediction statuses.
+const (
+	Composite Status = iota // full platform predicted with high confidence
+	Partial                 // only device and/or agent predicted confidently
+	Unknown                 // nothing confident: rejected
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Composite:
+		return "composite"
+	case Partial:
+		return "partial"
+	default:
+		return "unknown"
+	}
+}
+
+// Prediction is the confidence-selected output for one video flow (§4.1).
+type Prediction struct {
+	Status Status
+
+	Platform     string
+	PlatformConf float64
+	Device       string
+	DeviceConf   float64
+	Agent        string
+	AgentConf    float64
+}
+
+// Classify runs the three objectives for a flow and applies the confidence
+// selector: composite first; below threshold, fall back to the individual
+// device/agent models; if none clears the threshold the flow is Unknown.
+func (b *Bank) Classify(prov fingerprint.Provider, tr fingerprint.Transport, v *features.FieldValues) (Prediction, error) {
+	var p Prediction
+	pm := b.Model(prov, tr, PlatformObjective)
+	dm := b.Model(prov, tr, DeviceObjective)
+	am := b.Model(prov, tr, AgentObjective)
+	if pm == nil || dm == nil || am == nil {
+		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr)
+	}
+	p.Platform, p.PlatformConf = pm.Predict(v)
+	p.Device, p.DeviceConf = dm.Predict(v)
+	p.Agent, p.AgentConf = am.Predict(v)
+
+	switch {
+	case p.PlatformConf >= ConfidenceThreshold:
+		p.Status = Composite
+		// Keep composite-consistent device/agent for downstream grouping.
+		p.Device = DeviceOf(p.Platform)
+		p.Agent = AgentOf(p.Platform)
+	case p.DeviceConf >= ConfidenceThreshold || p.AgentConf >= ConfidenceThreshold:
+		p.Status = Partial
+		if p.DeviceConf < ConfidenceThreshold {
+			p.Device = ""
+		}
+		if p.AgentConf < ConfidenceThreshold {
+			p.Agent = ""
+		}
+	default:
+		p.Status = Unknown
+	}
+	return p, nil
+}

@@ -1,0 +1,156 @@
+// Package pipeline implements the paper's Fig 4 packet-processing pipeline:
+// packets are parsed, filtered to the four providers' video flows by SNI,
+// split into handshake and payload packets, formalized into the Table 2
+// attributes, and classified by a per-provider bank of random-forest models
+// with the 80% confidence selector of §4.1. Classified flows are joined with
+// volumetric telemetry for the §5 analyses.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+	"videoplat/internal/tracegen"
+)
+
+// ErrNoHandshake is returned when a flow's frames contain no ClientHello.
+var ErrNoHandshake = errors.New("pipeline: no ClientHello in flow")
+
+// MatchProvider maps an SNI to a video provider, reproducing the paper's
+// SNI-based traffic detection (content and management hostnames).
+// The boolean reports whether the SNI matched at all; content reports
+// whether it is a content (video-carrying) server rather than a management
+// front-end.
+func MatchProvider(sni string) (prov fingerprint.Provider, content, ok bool) {
+	s := strings.ToLower(sni)
+	switch {
+	case strings.HasSuffix(s, ".googlevideo.com"):
+		return fingerprint.YouTube, true, true
+	case strings.HasSuffix(s, "youtube.com"):
+		return fingerprint.YouTube, false, true
+	case strings.HasSuffix(s, ".nflxvideo.net"):
+		return fingerprint.Netflix, true, true
+	case strings.HasSuffix(s, "netflix.com"):
+		return fingerprint.Netflix, false, true
+	case strings.HasSuffix(s, ".media.dssott.com"), strings.HasSuffix(s, ".dssott.com"):
+		return fingerprint.Disney, true, true
+	case strings.HasSuffix(s, "disneyplus.com"):
+		return fingerprint.Disney, false, true
+	case strings.HasSuffix(s, ".aiv-cdn.net"), strings.HasSuffix(s, ".cloudfront.net"):
+		return fingerprint.Amazon, true, true
+	case strings.HasSuffix(s, "primevideo.com"), strings.HasSuffix(s, "amazonvideo.com"):
+		return fingerprint.Amazon, false, true
+	}
+	return 0, false, false
+}
+
+// ExtractFrames assembles a flow's HandshakeInfo from its client-side
+// frames: the TCP SYN + ClientHello record, or the QUIC Initial. This is the
+// handshake-attribute path of Fig 4's preprocessing stage.
+func ExtractFrames(frames [][]byte) (*features.HandshakeInfo, error) {
+	var parser packet.Parser
+	var parsed packet.Parsed
+	info := &features.HandshakeInfo{TCPWScale: -1}
+	var sawSYN bool
+	var tcpStream []byte
+
+	for _, frame := range frames {
+		if err := parser.Parse(frame, &parsed); err != nil {
+			continue // non-IP noise is skipped, as a tap would
+		}
+		switch {
+		case parsed.Has(packet.LayerTCP):
+			t := &parsed.TCP
+			if t.Flags&packet.FlagSYN != 0 && t.Flags&packet.FlagACK == 0 && !sawSYN {
+				sawSYN = true
+				info.QUIC = false
+				info.TTL = parsed.TTL()
+				info.InitPacketSize = len(frame) - 14 // IP packet size
+				info.TCPFlags = t.Flags
+				info.TCPWindow = t.Window
+				info.TCPMSS = t.MSS()
+				info.TCPWScale = t.WindowScale()
+				info.TCPSACK = t.SACKPermitted()
+			}
+			if len(parsed.Payload) > 0 && info.Hello == nil {
+				tcpStream = append(tcpStream, parsed.Payload...)
+				ch, err := tlsproto.ParseRecord(tcpStream)
+				if err == nil {
+					info.Hello = ch
+					return info, nil
+				}
+				if !errors.Is(err, tlsproto.ErrMalformed) {
+					// Not a handshake record at all: wrong flow start.
+					tcpStream = nil
+				}
+			}
+		case parsed.Has(packet.LayerUDP):
+			if !quicproto.IsLongHeader(parsed.Payload) {
+				continue
+			}
+			init, err := quicproto.ParseInitial(parsed.Payload)
+			if err != nil {
+				continue
+			}
+			ch, err := tlsproto.Parse(init.CryptoData)
+			if err != nil {
+				continue
+			}
+			info.QUIC = true
+			info.TTL = parsed.TTL()
+			info.InitPacketSize = init.WireSize
+			info.Hello = ch
+			return info, nil
+		}
+	}
+	if info.Hello == nil {
+		return nil, ErrNoHandshake
+	}
+	return info, nil
+}
+
+// ExtractTrace assembles HandshakeInfo from a generated FlowTrace's
+// client-side frames.
+func ExtractTrace(ft *tracegen.FlowTrace) (*features.HandshakeInfo, error) {
+	var frames [][]byte
+	for _, fr := range ft.Frames {
+		if fr.ClientToServer {
+			frames = append(frames, fr.Data)
+		}
+	}
+	info, err := ExtractFrames(frames)
+	if err != nil {
+		return nil, fmt.Errorf("%s/%s: %w", ft.Label, ft.Provider, err)
+	}
+	return info, nil
+}
+
+// DeviceOf maps a composite platform label to its device-type class
+// (windows/macOS/android/iOS/TV), the paper's device-type objective.
+func DeviceOf(label string) string {
+	i := strings.IndexByte(label, '_')
+	if i < 0 {
+		return label
+	}
+	dev := label[:i]
+	switch dev {
+	case "androidTV", "ps5":
+		return "TV"
+	}
+	return dev
+}
+
+// AgentOf maps a composite platform label to its software-agent class.
+func AgentOf(label string) string {
+	i := strings.IndexByte(label, '_')
+	if i < 0 {
+		return label
+	}
+	return label[i+1:]
+}

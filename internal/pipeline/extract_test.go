@@ -1,0 +1,178 @@
+package pipeline
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+)
+
+// TestExtractFramesSplitClientHello feeds a ClientHello split across two TCP
+// segments, exercising the stream-reassembly path of ExtractFrames.
+func TestExtractFramesSplitClientHello(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	f, err := fingerprint.Generate(rng, "macOS_safari", fingerprint.Amazon, fingerprint.TCP, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := f.Hello.MarshalRecord()
+	cut := len(record) / 3
+
+	src := netip.MustParseAddr("192.168.1.2")
+	dst := netip.MustParseAddr("203.0.113.40")
+	mkFrame := func(payload []byte, flags uint8, withOpts bool) []byte {
+		tcp := packet.TCP{SrcPort: 50000, DstPort: 443, Flags: flags, Window: f.Window}
+		if withOpts {
+			tcp.Options = []packet.TCPOption{
+				{Kind: packet.OptMSS, Data: []byte{byte(f.MSS >> 8), byte(f.MSS)}},
+				{Kind: packet.OptNOP}, {Kind: packet.OptNOP},
+				{Kind: packet.OptSACKPermitted},
+				{Kind: packet.OptNOP},
+				{Kind: packet.OptWindowScale, Data: []byte{byte(f.WScale)}},
+			}
+		}
+		seg := tcp.Append(nil, payload, src, dst)
+		ip := packet.IPv4{TTL: f.TTL - 2, Protocol: packet.ProtoTCP, Src: src, Dst: dst}
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		return eth.Append(nil, ip.Append(nil, seg))
+	}
+
+	frames := [][]byte{
+		mkFrame(nil, packet.FlagSYN|packet.FlagECE|packet.FlagCWR, true),
+		mkFrame(record[:cut], packet.FlagACK|packet.FlagPSH, false),
+		mkFrame(record[cut:], packet.FlagACK|packet.FlagPSH, false),
+	}
+	info, err := ExtractFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Hello.ServerName() != f.SNI {
+		t.Errorf("SNI = %q, want %q", info.Hello.ServerName(), f.SNI)
+	}
+	if info.TCPMSS != f.MSS || info.TCPWScale != f.WScale {
+		t.Errorf("TCP opts not recovered: mss=%d wscale=%d", info.TCPMSS, info.TCPWScale)
+	}
+	if info.TCPFlags&packet.FlagECE == 0 {
+		t.Error("ECN flags lost")
+	}
+}
+
+func TestExtractFramesNoHello(t *testing.T) {
+	if _, err := ExtractFrames(nil); err == nil {
+		t.Error("empty frames accepted")
+	}
+	// Frames with only a SYN and application noise must fail with
+	// ErrNoHandshake.
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	tcp := packet.TCP{SrcPort: 1234, DstPort: 443, Flags: packet.FlagSYN}
+	seg := tcp.Append(nil, nil, src, dst)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: src, Dst: dst}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	frame := eth.Append(nil, ip.Append(nil, seg))
+	if _, err := ExtractFrames([][]byte{frame}); err == nil {
+		t.Error("SYN-only flow should have no hello")
+	}
+}
+
+// TestFromFlowMatchesPacketPath verifies the campus fast path
+// (features.FromFlow) and the packet path (ExtractFrames over rendered
+// frames) agree on every Table 2 attribute for the same underlying flow.
+func TestFromFlowMatchesPacketPath(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for _, c := range []struct {
+		label string
+		prov  fingerprint.Provider
+		tr    fingerprint.Transport
+	}{
+		{"windows_chrome", fingerprint.Netflix, fingerprint.TCP},
+		{"macOS_firefox", fingerprint.Disney, fingerprint.TCP},
+		{"ps5_nativeApp", fingerprint.Amazon, fingerprint.TCP},
+	} {
+		f, err := fingerprint.Generate(rng, c.label, c.prov, c.tr, fingerprint.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		const hops = 2
+		fast := features.Extract(features.FromFlow(f, hops))
+
+		// Render the same flow by hand, mirroring tracegen's SYN layout.
+		src := netip.MustParseAddr("192.168.1.9")
+		dst := netip.MustParseAddr("203.0.113.9")
+		var opts []packet.TCPOption
+		opts = append(opts, packet.TCPOption{Kind: packet.OptMSS,
+			Data: []byte{byte(f.MSS >> 8), byte(f.MSS)}})
+		if f.SACK {
+			opts = append(opts, packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptSACKPermitted})
+		}
+		if f.Timestamps {
+			opts = append(opts, packet.TCPOption{Kind: packet.OptTimestamps, Data: make([]byte, 8)})
+		}
+		if f.WScale >= 0 {
+			opts = append(opts, packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptWindowScale, Data: []byte{byte(f.WScale)}})
+		}
+		flags := packet.FlagSYN
+		if f.ECN {
+			flags |= packet.FlagECE | packet.FlagCWR
+		}
+		syn := packet.TCP{SrcPort: 40000, DstPort: 443, Flags: flags, Window: f.Window, Options: opts}
+		ip := packet.IPv4{TTL: f.TTL - hops, Protocol: packet.ProtoTCP, Src: src, Dst: dst}
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		synFrame := eth.Append(nil, ip.Append(nil, syn.Append(nil, nil, src, dst)))
+
+		chlo := packet.TCP{SrcPort: 40000, DstPort: 443, Flags: packet.FlagACK | packet.FlagPSH, Window: f.Window}
+		chloFrame := eth.Append(nil, ip.Append(nil, chlo.Append(nil, f.Hello.MarshalRecord(), src, dst)))
+
+		info, err := ExtractFrames([][]byte{synFrame, chloFrame})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow := features.Extract(info)
+
+		if !reflect.DeepEqual(fast.Nums, slow.Nums) {
+			t.Errorf("%s: numeric attributes diverge:\nfast: %v\nslow: %v", c.label, fast.Nums, slow.Nums)
+		}
+		if !reflect.DeepEqual(fast.Cats, slow.Cats) {
+			t.Errorf("%s: categorical attributes diverge", c.label)
+		}
+		if !reflect.DeepEqual(fast.Lists, slow.Lists) {
+			t.Errorf("%s: list attributes diverge", c.label)
+		}
+	}
+}
+
+func TestExtractFramesSkipsNonHandshakeTCPPayload(t *testing.T) {
+	// A flow whose first payload is HTTP (not TLS) must not yield a hello.
+	src := netip.MustParseAddr("10.1.1.1")
+	dst := netip.MustParseAddr("10.1.1.2")
+	tcp := packet.TCP{SrcPort: 1, DstPort: 443, Flags: packet.FlagACK}
+	seg := tcp.Append(nil, []byte("GET / HTTP/1.1\r\n"), src, dst)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoTCP, Src: src, Dst: dst}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	frame := eth.Append(nil, ip.Append(nil, seg))
+	if _, err := ExtractFrames([][]byte{frame}); err == nil {
+		t.Error("HTTP payload misparsed as hello")
+	}
+}
+
+func TestExtractFramesQUICShortHeaderIgnored(t *testing.T) {
+	src := netip.MustParseAddr("10.2.2.1")
+	dst := netip.MustParseAddr("10.2.2.2")
+	udp := packet.UDP{SrcPort: 9999, DstPort: 443}
+	short := make([]byte, 100)
+	short[0] = 0x41 // short header
+	seg := udp.Append(nil, short, src, dst)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	frame := eth.Append(nil, ip.Append(nil, seg))
+	if _, err := ExtractFrames([][]byte{frame}); err != ErrNoHandshake {
+		t.Errorf("err = %v, want ErrNoHandshake", err)
+	}
+}

@@ -1,0 +1,166 @@
+package pipeline
+
+import (
+	"time"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+)
+
+// FlowRecord is the pipeline's per-flow output: provider, classified user
+// platform and volumetric telemetry — the rows stored in the paper's
+// PostgreSQL database.
+type FlowRecord struct {
+	Key       packet.FlowKey
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+	SNI       string
+	Content   bool // content server (video bytes) vs management front-end
+
+	Prediction Prediction
+	Classified bool
+
+	FirstSeen, LastSeen    time.Time
+	BytesDown, BytesUp     int64
+	PacketsDown, PacketsUp int
+}
+
+// Duration is the observed flow duration.
+func (r *FlowRecord) Duration() time.Duration { return r.LastSeen.Sub(r.FirstSeen) }
+
+// MbpsDown is the mean downstream bandwidth in Mbit/s.
+func (r *FlowRecord) MbpsDown() float64 {
+	d := r.Duration().Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(r.BytesDown) * 8 / 1e6 / d
+}
+
+type flowState struct {
+	rec          FlowRecord
+	clientFrames [][]byte
+	clientKey    packet.FlowKey // direction of the initiating packet
+	done         bool           // classification finished (or rejected)
+}
+
+// Pipeline is the streaming packet processor of Fig 4. Feed packets with
+// HandlePacket; classified flows are returned as events and accumulated for
+// Flows(). Not safe for concurrent use; shard by flow hash across instances
+// for multi-core deployments, as the DPDK prototype does.
+type Pipeline struct {
+	Bank  *Bank
+	flows map[packet.FlowKey]*flowState
+
+	parser packet.Parser
+	parsed packet.Parsed
+
+	// Stats counters.
+	Packets, VideoPackets, ClassifiedFlows, UnknownFlows int
+}
+
+// New returns a Pipeline over a trained bank.
+func New(bank *Bank) *Pipeline {
+	return &Pipeline{Bank: bank, flows: map[packet.FlowKey]*flowState{}}
+}
+
+// HandlePacket processes one frame. It returns a non-nil FlowRecord exactly
+// when the frame completed a flow's classification.
+func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error) {
+	p.Packets++
+	if err := p.parser.Parse(frame, &p.parsed); err != nil {
+		return nil, nil // undecodable frames are not errors for the tap
+	}
+	key, ok := p.parsed.Flow()
+	if !ok {
+		return nil, nil
+	}
+	// Port filter: the providers' video flows ride 443.
+	if key.SrcPort != 443 && key.DstPort != 443 {
+		return nil, nil
+	}
+	canon := key.Canonical()
+	st := p.flows[canon]
+	if st == nil {
+		st = &flowState{clientKey: key}
+		st.rec.Key = key
+		st.rec.FirstSeen = ts
+		p.flows[canon] = st
+	}
+
+	// Telemetry split by direction.
+	st.rec.LastSeen = ts
+	payloadLen := int64(len(p.parsed.Payload))
+	if key == st.clientKey {
+		st.rec.BytesUp += payloadLen
+		st.rec.PacketsUp++
+	} else {
+		st.rec.BytesDown += payloadLen
+		st.rec.PacketsDown++
+	}
+
+	if st.done {
+		return nil, nil
+	}
+
+	// Handshake splitter: buffer client-side frames until a ClientHello
+	// parses out.
+	if key == st.clientKey {
+		st.clientFrames = append(st.clientFrames, append([]byte{}, frame...))
+	}
+	info, err := ExtractFrames(st.clientFrames)
+	if err != nil {
+		if len(st.clientFrames) > 8 {
+			st.done = true // no hello in the first packets: not a video flow
+		}
+		return nil, nil
+	}
+
+	sni := info.Hello.ServerName()
+	prov, content, ok := MatchProvider(sni)
+	if !ok {
+		st.done = true
+		return nil, nil
+	}
+	p.VideoPackets++
+	st.rec.SNI = sni
+	st.rec.Provider = prov
+	st.rec.Content = content
+	st.rec.Transport = fingerprint.TCP
+	if info.QUIC {
+		st.rec.Transport = fingerprint.QUIC
+	}
+
+	v := features.Extract(info)
+	pred, err := p.Bank.Classify(prov, st.rec.Transport, v)
+	if err != nil {
+		st.done = true
+		return nil, err
+	}
+	st.rec.Prediction = pred
+	st.rec.Classified = true
+	st.done = true
+	st.clientFrames = nil
+	if pred.Status == Unknown {
+		p.UnknownFlows++
+	} else {
+		p.ClassifiedFlows++
+	}
+	out := st.rec // copy at classification time
+	return &out, nil
+}
+
+// Flows returns the accumulated per-flow records (classified or not), with
+// final telemetry.
+func (p *Pipeline) Flows() []*FlowRecord {
+	out := make([]*FlowRecord, 0, len(p.flows))
+	for _, st := range p.flows {
+		rec := st.rec
+		out = append(out, &rec)
+	}
+	return out
+}
+
+// Reset drops all flow state (e.g. between measurement windows).
+func (p *Pipeline) Reset() { p.flows = map[packet.FlowKey]*flowState{} }

@@ -1,0 +1,116 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"videoplat/internal/packet"
+)
+
+// Sharded fans packets out to per-shard Pipelines by flow hash, the
+// multi-queue arrangement the paper's DPDK prototype uses to keep up with a
+// 20 Gbps tap. Hashing is symmetric (both directions of a flow land on the
+// same shard), and each shard owns its flow table, so shards never contend.
+type Sharded struct {
+	shards  []*shard
+	results chan *FlowRecord
+	wg      sync.WaitGroup
+}
+
+type shard struct {
+	in chan shardPacket
+	p  *Pipeline
+}
+
+type shardPacket struct {
+	ts    time.Time
+	frame []byte
+}
+
+// NewSharded starts n shard workers over a shared trained bank. Results
+// (classified flows) are delivered on Results; call Close to drain and stop.
+func NewSharded(bank *Bank, n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	s := &Sharded{results: make(chan *FlowRecord, 64)}
+	for i := 0; i < n; i++ {
+		sh := &shard{in: make(chan shardPacket, 256), p: New(bank)}
+		s.shards = append(s.shards, sh)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for pkt := range sh.in {
+				rec, err := sh.p.HandlePacket(pkt.ts, pkt.frame)
+				if err == nil && rec != nil {
+					s.results <- rec
+				}
+			}
+		}()
+	}
+	return s
+}
+
+// Results delivers classified flow records as they complete.
+func (s *Sharded) Results() <-chan *FlowRecord { return s.results }
+
+// HandlePacket routes one frame to its flow's shard. The frame is copied, so
+// callers may reuse the buffer.
+func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
+	var parser packet.Parser
+	var parsed packet.Parsed
+	idx := 0
+	if parser.Parse(frame, &parsed) == nil {
+		if key, ok := parsed.Flow(); ok {
+			idx = int(hashKey(key.Canonical()) % uint64(len(s.shards)))
+		}
+	}
+	buf := make([]byte, len(frame))
+	copy(buf, frame)
+	s.shards[idx].in <- shardPacket{ts: ts, frame: buf}
+}
+
+// Close stops the workers after draining queued packets and closes Results.
+func (s *Sharded) Close() {
+	for _, sh := range s.shards {
+		close(sh.in)
+	}
+	s.wg.Wait()
+	close(s.results)
+}
+
+// Flows gathers the per-flow records of every shard. Call after Close.
+func (s *Sharded) Flows() []*FlowRecord {
+	var out []*FlowRecord
+	for _, sh := range s.shards {
+		out = append(out, sh.p.Flows()...)
+	}
+	return out
+}
+
+// hashKey is an FNV-1a over the canonical 5-tuple; symmetric because the
+// key is canonicalized first.
+func hashKey(k packet.FlowKey) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	src, dst := k.Src.As16(), k.Dst.As16()
+	for _, b := range src {
+		mix(b)
+	}
+	for _, b := range dst {
+		mix(b)
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(k.Proto)
+	return h
+}

@@ -1,0 +1,107 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/tracegen"
+)
+
+func TestShardedPipelineClassifiesAllFlows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bank training is slow")
+	}
+	bank, _ := trainSmallBank(t, 31, 0.02)
+	s := NewSharded(bank, 4)
+
+	g := tracegen.New(77)
+	want := map[string]string{}
+	var all []*tracegen.FlowTrace
+	specs := []struct {
+		label string
+		prov  fingerprint.Provider
+		tr    fingerprint.Transport
+	}{
+		{"windows_chrome", fingerprint.YouTube, fingerprint.QUIC},
+		{"windows_firefox", fingerprint.Netflix, fingerprint.TCP},
+		{"iOS_nativeApp", fingerprint.Disney, fingerprint.TCP},
+		{"androidTV_nativeApp", fingerprint.Amazon, fingerprint.TCP},
+		{"macOS_safari", fingerprint.Amazon, fingerprint.TCP},
+		{"ps5_nativeApp", fingerprint.Netflix, fingerprint.TCP},
+	}
+	for _, sp := range specs {
+		ft, err := g.Flow(sp.label, sp.prov, sp.tr, tracegen.FlowSpec{PayloadFrames: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, ft)
+		want[ft.SNI] = sp.label
+	}
+
+	// Interleave packets across flows to force cross-shard concurrency.
+	for j := 0; ; j++ {
+		any := false
+		for _, ft := range all {
+			if j < len(ft.Frames) {
+				s.HandlePacket(ft.Start.Add(ft.Frames[j].Offset), ft.Frames[j].Data)
+				any = true
+			}
+		}
+		if !any {
+			break
+		}
+	}
+
+	done := make(chan map[string]Prediction)
+	go func() {
+		got := map[string]Prediction{}
+		for rec := range s.Results() {
+			got[rec.SNI] = rec.Prediction
+		}
+		done <- got
+	}()
+	s.Close()
+	got := <-done
+
+	if len(got) != len(want) {
+		t.Fatalf("classified %d flows, want %d", len(got), len(want))
+	}
+	correct := 0
+	for sni, truth := range want {
+		if got[sni].Platform == truth {
+			correct++
+		}
+	}
+	if correct < len(want)-1 {
+		t.Errorf("correct = %d/%d", correct, len(want))
+	}
+	if n := len(s.Flows()); n != len(want) {
+		t.Errorf("flow records = %d", n)
+	}
+}
+
+func TestHashKeySymmetric(t *testing.T) {
+	g := tracegen.New(5)
+	ft, err := g.Flow("ps5_nativeApp", fingerprint.Amazon, fingerprint.TCP, tracegen.FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ft.Key()
+	if hashKey(k.Canonical()) != hashKey(k.Reverse().Canonical()) {
+		t.Error("hash not symmetric across directions")
+	}
+}
+
+func TestShardedSingleShard(t *testing.T) {
+	bank := &Bank{models: map[bankKey]*Model{}}
+	s := NewSharded(bank, 0) // clamps to 1
+	if len(s.shards) != 1 {
+		t.Fatalf("shards = %d", len(s.shards))
+	}
+	s.HandlePacket(time.Now(), []byte{1, 2, 3}) // garbage is fine
+	s.Close()
+	if got := len(s.Flows()); got != 0 {
+		t.Errorf("flows = %d", got)
+	}
+}

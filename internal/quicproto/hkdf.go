@@ -1,0 +1,52 @@
+// Package quicproto implements the subset of QUIC v1 (RFC 9000/9001) needed
+// to generate and analyze Initial packets: long-header encoding, the Initial
+// secret schedule (HKDF over SHA-256), AES-128-GCM payload protection,
+// AES-based header protection, CRYPTO-frame (re)assembly, and the transport
+// parameter codec including the Google-specific parameters observed in
+// YouTube traffic.
+//
+// Initial packets are encrypted with keys derived from public values (the
+// destination connection ID), so an on-path observer — the ISP vantage point
+// of the paper — can decrypt them and read the embedded TLS ClientHello.
+package quicproto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// hkdfExtract implements HKDF-Extract (RFC 5869) over SHA-256.
+func hkdfExtract(salt, ikm []byte) []byte {
+	mac := hmac.New(sha256.New, salt)
+	mac.Write(ikm)
+	return mac.Sum(nil)
+}
+
+// hkdfExpand implements HKDF-Expand (RFC 5869) over SHA-256.
+func hkdfExpand(prk, info []byte, length int) []byte {
+	var (
+		out []byte
+		t   []byte
+	)
+	for counter := byte(1); len(out) < length; counter++ {
+		mac := hmac.New(sha256.New, prk)
+		mac.Write(t)
+		mac.Write(info)
+		mac.Write([]byte{counter})
+		t = mac.Sum(nil)
+		out = append(out, t...)
+	}
+	return out[:length]
+}
+
+// hkdfExpandLabel implements HKDF-Expand-Label (RFC 8446 §7.1) with the
+// "tls13 " prefix used by QUIC.
+func hkdfExpandLabel(secret []byte, label string, length int) []byte {
+	full := "tls13 " + label
+	info := make([]byte, 0, 4+len(full))
+	info = append(info, byte(length>>8), byte(length))
+	info = append(info, byte(len(full)))
+	info = append(info, full...)
+	info = append(info, 0) // empty context
+	return hkdfExpand(secret, info, length)
+}

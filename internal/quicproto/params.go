@@ -1,0 +1,137 @@
+package quicproto
+
+import (
+	"fmt"
+
+	"videoplat/internal/wire"
+)
+
+// Transport parameter IDs (RFC 9000 §18.2 plus extensions seen in the wild).
+const (
+	ParamMaxIdleTimeout                 uint64 = 0x01
+	ParamMaxUDPPayloadSize              uint64 = 0x03
+	ParamInitialMaxData                 uint64 = 0x04
+	ParamInitialMaxStreamDataBidiLocal  uint64 = 0x05
+	ParamInitialMaxStreamDataBidiRemote uint64 = 0x06
+	ParamInitialMaxStreamDataUni        uint64 = 0x07
+	ParamInitialMaxStreamsBidi          uint64 = 0x08
+	ParamInitialMaxStreamsUni           uint64 = 0x09
+	ParamAckDelayExponent               uint64 = 0x0a
+	ParamMaxAckDelay                    uint64 = 0x0b
+	ParamDisableActiveMigration         uint64 = 0x0c
+	ParamActiveConnectionIDLimit        uint64 = 0x0e
+	ParamInitialSourceConnectionID      uint64 = 0x0f
+	ParamVersionInformation             uint64 = 0x11   // RFC 9368
+	ParamMaxDatagramFrameSize           uint64 = 0x20   // RFC 9221
+	ParamGreaseQuicBit                  uint64 = 0x2ab2 // RFC 9287
+	ParamInitialRTT                     uint64 = 0x3127 // Google
+	ParamGoogleConnectionOptions        uint64 = 0x3128 // Google
+	ParamUserAgent                      uint64 = 0x3129 // Google
+	ParamGoogleVersion                  uint64 = 0x4752 // Google
+)
+
+// TransportParameter is one raw parameter in wire order.
+type TransportParameter struct {
+	ID    uint64
+	Value []byte
+}
+
+// TransportParameters is the ordered parameter list from a ClientHello's
+// quic_transport_parameters extension (code 57). Order is preserved because
+// it differs between client implementations and is itself a signal.
+type TransportParameters struct {
+	Params []TransportParameter
+}
+
+// ParseTransportParameters decodes an extension-57 body.
+func ParseTransportParameters(b []byte) (*TransportParameters, error) {
+	tp := &TransportParameters{}
+	r := wire.NewReader(b)
+	for !r.Empty() {
+		id, err := r.Varint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: param id", ErrMalformed)
+		}
+		n, err := r.Varint()
+		if err != nil {
+			return nil, fmt.Errorf("%w: param %#x length", ErrMalformed, id)
+		}
+		val, err := r.Bytes(int(n))
+		if err != nil {
+			return nil, fmt.Errorf("%w: param %#x value", ErrMalformed, id)
+		}
+		tp.Params = append(tp.Params, TransportParameter{ID: id, Value: val})
+	}
+	return tp, nil
+}
+
+// Marshal encodes the parameters in order.
+func (tp *TransportParameters) Marshal() []byte {
+	w := wire.NewWriter(128)
+	for _, p := range tp.Params {
+		_ = w.Varint(p.ID)
+		_ = w.Varint(uint64(len(p.Value)))
+		w.Write(p.Value)
+	}
+	return w.Bytes()
+}
+
+// Get returns the first parameter with the given ID.
+func (tp *TransportParameters) Get(id uint64) (TransportParameter, bool) {
+	for _, p := range tp.Params {
+		if p.ID == id {
+			return p, true
+		}
+	}
+	return TransportParameter{}, false
+}
+
+// Has reports presence of a parameter.
+func (tp *TransportParameters) Has(id uint64) bool {
+	_, ok := tp.Get(id)
+	return ok
+}
+
+// Uint returns the varint-encoded value of a parameter, or (0, false).
+func (tp *TransportParameters) Uint(id uint64) (uint64, bool) {
+	p, ok := tp.Get(id)
+	if !ok {
+		return 0, false
+	}
+	v, err := wire.NewReader(p.Value).Varint()
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// ValueLen returns the value length in bytes, or -1 if absent. Used for
+// length-typed attributes such as initial_source_connection_id.
+func (tp *TransportParameters) ValueLen(id uint64) int {
+	p, ok := tp.Get(id)
+	if !ok {
+		return -1
+	}
+	return len(p.Value)
+}
+
+// IDs returns the parameter IDs in wire order, which forms the paper's q1
+// "quic_parameters" list attribute.
+func (tp *TransportParameters) IDs() []uint64 {
+	ids := make([]uint64, len(tp.Params))
+	for i, p := range tp.Params {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+// AppendUint appends a parameter with a varint value.
+func (tp *TransportParameters) AppendUint(id, value uint64) {
+	tp.Params = append(tp.Params, TransportParameter{ID: id, Value: wire.AppendVarint(nil, value)})
+}
+
+// AppendBytes appends a parameter with a raw value (possibly empty for
+// flag-style parameters such as disable_active_migration).
+func (tp *TransportParameters) AppendBytes(id uint64, value []byte) {
+	tp.Params = append(tp.Params, TransportParameter{ID: id, Value: value})
+}

@@ -1,0 +1,111 @@
+package tlsproto
+
+import "videoplat/internal/wire"
+
+// Helpers to construct extension bodies. Each returns the Data field of an
+// Extension; combine with the type constants to assemble a ClientHello.
+
+// ServerNameData builds a server_name extension body for host.
+func ServerNameData(host string) []byte {
+	w := wire.NewWriter(5 + len(host))
+	w.Uint16(uint16(3 + len(host)))
+	w.Uint8(0) // host_name
+	w.Uint16(uint16(len(host)))
+	w.Write([]byte(host))
+	return w.Bytes()
+}
+
+// StatusRequestData builds an OCSP status_request body.
+func StatusRequestData() []byte {
+	return []byte{1, 0, 0, 0, 0} // ocsp, empty responder list, empty exts
+}
+
+// Uint16ListData builds a body holding a 16-bit-length-prefixed list of
+// 16-bit values (supported_groups, signature_algorithms, delegated_credentials).
+func Uint16ListData(values []uint16) []byte {
+	w := wire.NewWriter(2 + 2*len(values))
+	w.Uint16(uint16(2 * len(values)))
+	for _, v := range values {
+		w.Uint16(v)
+	}
+	return w.Bytes()
+}
+
+// ECPointFormatsData builds an ec_point_formats body.
+func ECPointFormatsData(formats []byte) []byte {
+	w := wire.NewWriter(1 + len(formats))
+	w.Uint8(uint8(len(formats)))
+	w.Write(formats)
+	return w.Bytes()
+}
+
+// ALPNData builds an ALPN (or ALPS) body from protocol names.
+func ALPNData(protocols []string) []byte {
+	inner := wire.NewWriter(16)
+	for _, p := range protocols {
+		inner.Uint8(uint8(len(p)))
+		inner.Write([]byte(p))
+	}
+	w := wire.NewWriter(2 + inner.Len())
+	w.Uint16(uint16(inner.Len()))
+	w.Write(inner.Bytes())
+	return w.Bytes()
+}
+
+// SupportedVersionsData builds a supported_versions body.
+func SupportedVersionsData(versions []uint16) []byte {
+	w := wire.NewWriter(1 + 2*len(versions))
+	w.Uint8(uint8(2 * len(versions)))
+	for _, v := range versions {
+		w.Uint16(v)
+	}
+	return w.Bytes()
+}
+
+// PSKKeyExchangeModesData builds a psk_key_exchange_modes body.
+func PSKKeyExchangeModesData(modes []byte) []byte {
+	w := wire.NewWriter(1 + len(modes))
+	w.Uint8(uint8(len(modes)))
+	w.Write(modes)
+	return w.Bytes()
+}
+
+// KeyShareData builds a key_share body with a zero-filled (structurally
+// valid) public key of the given length per group.
+func KeyShareData(groups []uint16, keyLens []int) []byte {
+	inner := wire.NewWriter(64)
+	for i, g := range groups {
+		inner.Uint16(g)
+		n := 32
+		if i < len(keyLens) {
+			n = keyLens[i]
+		}
+		inner.Uint16(uint16(n))
+		inner.Write(make([]byte, n))
+	}
+	w := wire.NewWriter(2 + inner.Len())
+	w.Uint16(uint16(inner.Len()))
+	w.Write(inner.Bytes())
+	return w.Bytes()
+}
+
+// CompressCertificateData builds a compress_certificate body.
+func CompressCertificateData(algorithms []uint16) []byte {
+	w := wire.NewWriter(1 + 2*len(algorithms))
+	w.Uint8(uint8(2 * len(algorithms)))
+	for _, a := range algorithms {
+		w.Uint16(a)
+	}
+	return w.Bytes()
+}
+
+// RecordSizeLimitData builds a record_size_limit body.
+func RecordSizeLimitData(limit uint16) []byte {
+	return []byte{byte(limit >> 8), byte(limit)}
+}
+
+// PaddingData builds a padding body of n zero bytes.
+func PaddingData(n int) []byte { return make([]byte, n) }
+
+// RenegotiationInfoData builds an initial-handshake renegotiation_info body.
+func RenegotiationInfoData() []byte { return []byte{0} }

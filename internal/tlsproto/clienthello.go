@@ -1,0 +1,528 @@
+// Package tlsproto parses and builds TLS ClientHello messages, covering
+// every handshake field the paper's Table 2 formalizes into classification
+// attributes: the mandatory fields (version, cipher suites, compression
+// methods), the 23 optional extensions, and the QUIC transport-parameter
+// extension carried inside QUIC Initial CRYPTO frames.
+//
+// The package works on both directions: Parse decodes wire bytes captured
+// from a network (tolerating GREASE and unknown extensions), and Marshal
+// produces wire bytes for the synthetic trace generator.
+package tlsproto
+
+import (
+	"errors"
+	"fmt"
+
+	"videoplat/internal/wire"
+)
+
+// TLS extension type codes (IANA "TLS ExtensionType Values").
+const (
+	ExtServerName           uint16 = 0
+	ExtStatusRequest        uint16 = 5
+	ExtSupportedGroups      uint16 = 10
+	ExtECPointFormats       uint16 = 11
+	ExtSignatureAlgorithms  uint16 = 13
+	ExtALPN                 uint16 = 16
+	ExtSCT                  uint16 = 18
+	ExtPadding              uint16 = 21
+	ExtEncryptThenMac       uint16 = 22
+	ExtExtendedMasterSecret uint16 = 23
+	ExtCompressCertificate  uint16 = 27
+	ExtRecordSizeLimit      uint16 = 28
+	ExtDelegatedCredentials uint16 = 34
+	ExtSessionTicket        uint16 = 35
+	ExtPreSharedKey         uint16 = 41
+	ExtEarlyData            uint16 = 42
+	ExtSupportedVersions    uint16 = 43
+	ExtPSKKeyExchangeModes  uint16 = 45
+	ExtPostHandshakeAuth    uint16 = 49
+	ExtKeyShare             uint16 = 51
+	ExtQUICTransportParams  uint16 = 57
+	ExtApplicationSettings  uint16 = 17513 // ALPS (draft-vvv-tls-alps)
+	ExtRenegotiationInfo    uint16 = 65281
+)
+
+// TLS protocol version codes.
+const (
+	VersionTLS10 uint16 = 0x0301
+	VersionTLS11 uint16 = 0x0302
+	VersionTLS12 uint16 = 0x0303
+	VersionTLS13 uint16 = 0x0304
+)
+
+// Record and handshake framing constants.
+const (
+	recordTypeHandshake  = 22
+	handshakeClientHello = 1
+)
+
+// Errors returned by the parser.
+var (
+	ErrNotHandshake   = errors.New("tlsproto: not a handshake record")
+	ErrNotClientHello = errors.New("tlsproto: not a ClientHello")
+	ErrMalformed      = errors.New("tlsproto: malformed ClientHello")
+)
+
+// Extension is one raw TLS extension in wire order.
+type Extension struct {
+	Type uint16
+	Data []byte
+}
+
+// ClientHello is a decoded (or to-be-encoded) ClientHello message.
+// Extensions preserves the client's wire order, which is itself a
+// fingerprinting signal.
+type ClientHello struct {
+	LegacyVersion      uint16
+	Random             [32]byte
+	SessionID          []byte
+	CipherSuites       []uint16
+	CompressionMethods []byte
+	Extensions         []Extension
+
+	// HandshakeLength and ExtensionsLength are the lengths observed on the
+	// wire when parsed (attributes m1 and m5 of the paper); Marshal fills
+	// them in for generated hellos.
+	HandshakeLength  int
+	ExtensionsLength int
+}
+
+// Extension returns the first extension of the given type and whether it is
+// present.
+func (ch *ClientHello) Extension(typ uint16) (Extension, bool) {
+	for _, e := range ch.Extensions {
+		if e.Type == typ {
+			return e, true
+		}
+	}
+	return Extension{}, false
+}
+
+// HasExtension reports whether an extension type is present.
+func (ch *ClientHello) HasExtension(typ uint16) bool {
+	_, ok := ch.Extension(typ)
+	return ok
+}
+
+// ExtensionTypes returns the extension type codes in wire order.
+func (ch *ClientHello) ExtensionTypes() []uint16 {
+	types := make([]uint16, len(ch.Extensions))
+	for i, e := range ch.Extensions {
+		types[i] = e.Type
+	}
+	return types
+}
+
+// ServerName returns the host_name entry of the server_name extension.
+func (ch *ClientHello) ServerName() string {
+	e, ok := ch.Extension(ExtServerName)
+	if !ok {
+		return ""
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return ""
+	}
+	for r.Len() > 0 {
+		nameType, err := r.Uint8()
+		if err != nil {
+			return ""
+		}
+		nameLen, err := r.Uint16()
+		if err != nil {
+			return ""
+		}
+		name, err := r.Bytes(int(nameLen))
+		if err != nil {
+			return ""
+		}
+		if nameType == 0 {
+			return string(name)
+		}
+	}
+	return ""
+}
+
+// SupportedGroups returns the named-group list, or nil if absent.
+func (ch *ClientHello) SupportedGroups() []uint16 {
+	return ch.uint16List(ExtSupportedGroups)
+}
+
+// SignatureAlgorithms returns the signature-scheme list, or nil if absent.
+func (ch *ClientHello) SignatureAlgorithms() []uint16 {
+	return ch.uint16List(ExtSignatureAlgorithms)
+}
+
+// DelegatedCredentials returns the delegated-credential scheme list.
+func (ch *ClientHello) DelegatedCredentials() []uint16 {
+	return ch.uint16List(ExtDelegatedCredentials)
+}
+
+func (ch *ClientHello) uint16List(typ uint16) []uint16 {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return nil
+	}
+	out := make([]uint16, 0, listLen/2)
+	for i := 0; i < int(listLen)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return out
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ECPointFormats returns the point-format list, or nil if absent.
+func (ch *ClientHello) ECPointFormats() []byte {
+	e, ok := ch.Extension(ExtECPointFormats)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil {
+		return nil
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// ALPNProtocols returns the ALPN protocol names in preference order.
+func (ch *ClientHello) ALPNProtocols() []string {
+	return alpnList(ch, ExtALPN)
+}
+
+// ApplicationSettings returns the ALPS-supported ALPN list.
+func (ch *ClientHello) ApplicationSettings() []string {
+	return alpnList(ch, ExtApplicationSettings)
+}
+
+func alpnList(ch *ClientHello, typ uint16) []string {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return nil
+	}
+	var out []string
+	for r.Len() > 0 {
+		n, err := r.Uint8()
+		if err != nil {
+			return out
+		}
+		name, err := r.Bytes(int(n))
+		if err != nil {
+			return out
+		}
+		out = append(out, string(name))
+	}
+	return out
+}
+
+// SupportedVersions returns the offered TLS versions.
+func (ch *ClientHello) SupportedVersions() []uint16 {
+	e, ok := ch.Extension(ExtSupportedVersions)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil || int(n) > r.Len() {
+		return nil
+	}
+	out := make([]uint16, 0, n/2)
+	for i := 0; i < int(n)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return out
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// PSKKeyExchangeModes returns the psk_key_exchange_modes list.
+func (ch *ClientHello) PSKKeyExchangeModes() []byte {
+	e, ok := ch.Extension(ExtPSKKeyExchangeModes)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil {
+		return nil
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// KeyShareGroups returns the named groups for which key shares are offered.
+func (ch *ClientHello) KeyShareGroups() []uint16 {
+	e, ok := ch.Extension(ExtKeyShare)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return nil
+	}
+	var out []uint16
+	for r.Len() >= 4 {
+		group, err := r.Uint16()
+		if err != nil {
+			return out
+		}
+		keyLen, err := r.Uint16()
+		if err != nil {
+			return out
+		}
+		if err := r.Skip(int(keyLen)); err != nil {
+			return out
+		}
+		out = append(out, group)
+	}
+	return out
+}
+
+// CompressCertificateAlgorithms returns the certificate-compression
+// algorithm list (e.g. 1=zlib, 2=brotli, 3=zstd).
+func (ch *ClientHello) CompressCertificateAlgorithms() []uint16 {
+	e, ok := ch.Extension(ExtCompressCertificate)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil || int(n) > r.Len() {
+		return nil
+	}
+	out := make([]uint16, 0, n/2)
+	for i := 0; i < int(n)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return out
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// RecordSizeLimit returns the record_size_limit value, or 0 if absent.
+func (ch *ClientHello) RecordSizeLimit() uint16 {
+	e, ok := ch.Extension(ExtRecordSizeLimit)
+	if !ok || len(e.Data) != 2 {
+		return 0
+	}
+	return uint16(e.Data[0])<<8 | uint16(e.Data[1])
+}
+
+// StatusRequestType returns the status_request type (1 = OCSP) or 0 if the
+// extension is absent/empty.
+func (ch *ClientHello) StatusRequestType() uint8 {
+	e, ok := ch.Extension(ExtStatusRequest)
+	if !ok || len(e.Data) == 0 {
+		return 0
+	}
+	return e.Data[0]
+}
+
+// ExtensionLen returns the wire length in bytes of the body of an extension,
+// or -1 if absent. Used for the length-typed attributes of Table 2
+// (session_ticket, early_data, padding, SCT, server_name...).
+func (ch *ClientHello) ExtensionLen(typ uint16) int {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return -1
+	}
+	return len(e.Data)
+}
+
+// Parse decodes a ClientHello handshake message (starting at the handshake
+// header, i.e. after any TLS record framing). Returned slices alias msg.
+func Parse(msg []byte) (*ClientHello, error) {
+	r := wire.NewReader(msg)
+	typ, err := r.Uint8()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if typ != handshakeClientHello {
+		return nil, ErrNotClientHello
+	}
+	bodyLen, err := r.Uint24()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
+	}
+	if int(bodyLen) > r.Len() {
+		return nil, fmt.Errorf("%w: handshake body truncated (%d > %d)", ErrMalformed, bodyLen, r.Len())
+	}
+	body, _ := r.Bytes(int(bodyLen))
+	ch := &ClientHello{HandshakeLength: int(bodyLen)}
+	br := wire.NewReader(body)
+
+	if ch.LegacyVersion, err = br.Uint16(); err != nil {
+		return nil, fmt.Errorf("%w: version", ErrMalformed)
+	}
+	random, err := br.Bytes(32)
+	if err != nil {
+		return nil, fmt.Errorf("%w: random", ErrMalformed)
+	}
+	copy(ch.Random[:], random)
+
+	sidLen, err := br.Uint8()
+	if err != nil {
+		return nil, fmt.Errorf("%w: session id length", ErrMalformed)
+	}
+	if ch.SessionID, err = br.Bytes(int(sidLen)); err != nil {
+		return nil, fmt.Errorf("%w: session id", ErrMalformed)
+	}
+
+	csLen, err := br.Uint16()
+	if err != nil || csLen%2 != 0 || int(csLen) > br.Len() {
+		return nil, fmt.Errorf("%w: cipher suite length", ErrMalformed)
+	}
+	ch.CipherSuites = make([]uint16, csLen/2)
+	for i := range ch.CipherSuites {
+		if ch.CipherSuites[i], err = br.Uint16(); err != nil {
+			return nil, fmt.Errorf("%w: cipher suites", ErrMalformed)
+		}
+	}
+
+	cmLen, err := br.Uint8()
+	if err != nil {
+		return nil, fmt.Errorf("%w: compression length", ErrMalformed)
+	}
+	if ch.CompressionMethods, err = br.Bytes(int(cmLen)); err != nil {
+		return nil, fmt.Errorf("%w: compression methods", ErrMalformed)
+	}
+
+	if br.Empty() {
+		return ch, nil // extensions are optional in TLS <= 1.2
+	}
+	extLen, err := br.Uint16()
+	if err != nil || int(extLen) > br.Len() {
+		return nil, fmt.Errorf("%w: extensions length", ErrMalformed)
+	}
+	ch.ExtensionsLength = int(extLen)
+	er := wire.NewReader(body[len(body)-br.Len() : len(body)-br.Len()+int(extLen)])
+	for !er.Empty() {
+		typ, err := er.Uint16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: extension type", ErrMalformed)
+		}
+		dataLen, err := er.Uint16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: extension length", ErrMalformed)
+		}
+		data, err := er.Bytes(int(dataLen))
+		if err != nil {
+			return nil, fmt.Errorf("%w: extension %d body", ErrMalformed, typ)
+		}
+		ch.Extensions = append(ch.Extensions, Extension{Type: typ, Data: data})
+	}
+	return ch, nil
+}
+
+// ParseRecord decodes a ClientHello wrapped in a TLS record, as found at the
+// start of a TCP connection's client byte stream. Multi-record hellos
+// (records split across the 16 KB boundary) are reassembled.
+func ParseRecord(stream []byte) (*ClientHello, error) {
+	var handshake []byte
+	r := wire.NewReader(stream)
+	for {
+		typ, err := r.Uint8()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record header", ErrMalformed)
+		}
+		if typ != recordTypeHandshake {
+			return nil, ErrNotHandshake
+		}
+		if err := r.Skip(2); err != nil { // legacy record version
+			return nil, fmt.Errorf("%w: record version", ErrMalformed)
+		}
+		recLen, err := r.Uint16()
+		if err != nil {
+			return nil, fmt.Errorf("%w: record length", ErrMalformed)
+		}
+		frag, err := r.Bytes(int(recLen))
+		if err != nil {
+			return nil, fmt.Errorf("%w: record body truncated", ErrMalformed)
+		}
+		handshake = append(handshake, frag...)
+		if len(handshake) >= 4 {
+			want := 4 + int(uint32(handshake[1])<<16|uint32(handshake[2])<<8|uint32(handshake[3]))
+			if len(handshake) >= want {
+				return Parse(handshake[:want])
+			}
+		}
+		if r.Empty() {
+			return nil, fmt.Errorf("%w: handshake spans more records than captured", ErrMalformed)
+		}
+	}
+}
+
+// Marshal encodes the ClientHello as a handshake message (handshake header
+// included, no record framing) and updates HandshakeLength and
+// ExtensionsLength to the encoded sizes.
+func (ch *ClientHello) Marshal() []byte {
+	body := wire.NewWriter(512)
+	body.Uint16(ch.LegacyVersion)
+	body.Write(ch.Random[:])
+	body.Uint8(uint8(len(ch.SessionID)))
+	body.Write(ch.SessionID)
+	body.Uint16(uint16(2 * len(ch.CipherSuites)))
+	for _, cs := range ch.CipherSuites {
+		body.Uint16(cs)
+	}
+	body.Uint8(uint8(len(ch.CompressionMethods)))
+	body.Write(ch.CompressionMethods)
+
+	exts := wire.NewWriter(256)
+	for _, e := range ch.Extensions {
+		exts.Uint16(e.Type)
+		exts.Uint16(uint16(len(e.Data)))
+		exts.Write(e.Data)
+	}
+	if len(ch.Extensions) > 0 {
+		body.Uint16(uint16(exts.Len()))
+		body.Write(exts.Bytes())
+	}
+	ch.ExtensionsLength = exts.Len()
+	ch.HandshakeLength = body.Len()
+
+	out := wire.NewWriter(4 + body.Len())
+	out.Uint8(handshakeClientHello)
+	out.Uint24(uint32(body.Len()))
+	out.Write(body.Bytes())
+	return out.Bytes()
+}
+
+// MarshalRecord encodes the ClientHello wrapped in a single TLS record with
+// the legacy record version 0x0301, as real clients emit.
+func (ch *ClientHello) MarshalRecord() []byte {
+	hs := ch.Marshal()
+	out := wire.NewWriter(5 + len(hs))
+	out.Uint8(recordTypeHandshake)
+	out.Uint16(VersionTLS10)
+	out.Uint16(uint16(len(hs)))
+	out.Write(hs)
+	return out.Bytes()
+}

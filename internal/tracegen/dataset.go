@@ -1,0 +1,135 @@
+package tracegen
+
+import (
+	"fmt"
+
+	"videoplat/internal/fingerprint"
+)
+
+// Table1Counts is the exact dataset composition of the paper's Table 1:
+// video flows per (platform, provider). Dashes are zeros.
+var Table1Counts = map[string][4]int{
+	//                        YT   NF   DN   AP
+	"windows_chrome":          {411, 202, 199, 215},
+	"windows_edge":            {406, 208, 200, 200},
+	"windows_firefox":         {466, 207, 204, 195},
+	"windows_nativeApp":       {0, 204, 211, 186},
+	"macOS_safari":            {200, 204, 200, 201},
+	"macOS_chrome":            {407, 213, 202, 208},
+	"macOS_edge":              {402, 204, 202, 210},
+	"macOS_firefox":           {467, 212, 202, 199},
+	"macOS_nativeApp":         {0, 0, 0, 200},
+	"android_chrome":          {107, 0, 0, 0},
+	"android_samsungInternet": {103, 0, 0, 0},
+	"android_nativeApp":       {100, 102, 106, 111},
+	"iOS_safari":              {203, 0, 0, 0},
+	"iOS_chrome":              {213, 0, 0, 0},
+	"iOS_nativeApp":           {203, 215, 306, 372},
+	"androidTV_nativeApp":     {200, 116, 107, 113},
+	"ps5_nativeApp":           {105, 100, 100, 103},
+}
+
+// Dataset is a labeled collection of rendered flows.
+type Dataset struct {
+	Flows []*FlowTrace
+}
+
+// Filter returns the subset matching provider and transport.
+func (d *Dataset) Filter(prov fingerprint.Provider, tr fingerprint.Transport) []*FlowTrace {
+	var out []*FlowTrace
+	for _, f := range d.Flows {
+		if f.Provider == prov && f.Transport == tr {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Labels returns the distinct platform labels present, in first-seen order.
+func (d *Dataset) Labels() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range d.Flows {
+		if !seen[f.Label] {
+			seen[f.Label] = true
+			out = append(out, f.Label)
+		}
+	}
+	return out
+}
+
+// LabDataset renders the full Table 1 dataset. scale in (0,1] shrinks every
+// cell proportionally (minimum 8 flows per non-empty cell) to keep tests
+// fast; use 1.0 for the full ~10k flows. For YouTube on QUIC-capable
+// platforms, flows are split roughly evenly between TCP and QUIC, matching
+// the paper's "comprehensive coverage across configuration options".
+func (g *Generator) LabDataset(scale float64, opts fingerprint.Options) (*Dataset, error) {
+	if scale <= 0 || scale > 1 {
+		return nil, fmt.Errorf("tracegen: scale %v out of (0,1]", scale)
+	}
+	d := &Dataset{}
+	for _, label := range fingerprint.AllPlatformLabels() {
+		counts := Table1Counts[label]
+		for pi, prov := range fingerprint.AllProviders() {
+			n := counts[pi]
+			if n == 0 {
+				continue
+			}
+			n = int(float64(n) * scale)
+			if n < 8 {
+				n = 8
+			}
+			quicShare := 0
+			if fingerprint.SupportsQUIC(label, prov) {
+				quicShare = n / 2
+				if !fingerprint.SupportsTCP(label, prov) {
+					quicShare = n // e.g. the QUIC-only YouTube Android app
+				}
+			}
+			for i := 0; i < n; i++ {
+				tr := fingerprint.TCP
+				if i < quicShare {
+					tr = fingerprint.QUIC
+				}
+				f, err := g.Flow(label, prov, tr, FlowSpec{Options: opts, PayloadFrames: 1})
+				if err != nil {
+					return nil, fmt.Errorf("tracegen: %s/%s/%s: %w", label, prov, tr, err)
+				}
+				d.Flows = append(d.Flows, f)
+			}
+		}
+	}
+	return d, nil
+}
+
+// OpenSetDataset renders the §4.3.2 evaluation set: every supported
+// (platform, provider, transport) combination with version-drifted profiles,
+// n flows per combination (the paper used "over 2000 flows spread evenly").
+func (g *Generator) OpenSetDataset(n int) (*Dataset, error) {
+	d := &Dataset{}
+	opts := fingerprint.Options{OpenSet: true}
+	for _, label := range fingerprint.AllPlatformLabels() {
+		for _, prov := range fingerprint.AllProviders() {
+			if !fingerprint.SupportMatrix(label, prov) {
+				continue
+			}
+			var transports []fingerprint.Transport
+			if fingerprint.SupportsTCP(label, prov) {
+				transports = append(transports, fingerprint.TCP)
+			}
+			if fingerprint.SupportsQUIC(label, prov) {
+				transports = append(transports, fingerprint.QUIC)
+			}
+			for _, tr := range transports {
+				for i := 0; i < n; i++ {
+					f, err := g.Flow(label, prov, tr, FlowSpec{Options: opts, PayloadFrames: 1})
+					if err != nil {
+						return nil, err
+					}
+					d.Flows = append(d.Flows, f)
+				}
+			}
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,380 @@
+// Package tracegen renders fingerprint flow descriptions into packet-level
+// traces following the session anatomy of the paper's Fig 2: a management
+// flow to the provider's management server followed by one or more content
+// flows that carry the video, each opened by a TCP or QUIC + TLS handshake.
+//
+// It also assembles labeled datasets: the lab dataset with the exact flow
+// composition of Table 1 and the open-set dataset of §4.3.2 with
+// version-drifted platform behaviour.
+package tracegen
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/netip"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+	"videoplat/internal/pcap"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+)
+
+// Frame is one rendered packet with its offset from the flow start.
+type Frame struct {
+	Offset         time.Duration
+	Data           []byte
+	ClientToServer bool
+}
+
+// FlowTrace is a rendered video flow: handshake frames plus representative
+// payload frames, together with flow-level telemetry totals used by the
+// campus workload model.
+type FlowTrace struct {
+	Label     string
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+	SNI       string
+	Frames    []Frame
+
+	// Telemetry ground truth.
+	Start      time.Time
+	Duration   time.Duration
+	TotalBytes int64 // downstream payload volume
+
+	// Flow endpoints (client side first).
+	ClientAddr, ServerAddr netip.Addr
+	ClientPort, ServerPort uint16
+}
+
+// Key returns the canonical flow key of the trace.
+func (ft *FlowTrace) Key() packet.FlowKey {
+	proto := packet.ProtoTCP
+	if ft.Transport == fingerprint.QUIC {
+		proto = packet.ProtoUDP
+	}
+	return packet.FlowKey{
+		Src: ft.ClientAddr, Dst: ft.ServerAddr,
+		SrcPort: ft.ClientPort, DstPort: ft.ServerPort,
+		Proto: proto,
+	}
+}
+
+// Generator renders flows and datasets deterministically from a seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// New returns a Generator seeded deterministically.
+func New(seed uint64) *Generator {
+	return &Generator{rng: rand.New(rand.NewPCG(seed, seed^0xda3e39cb94b95bdb))}
+}
+
+// serverAddrFor gives each provider a stable, documentation-range server
+// address so flows are visually attributable in PCAPs.
+func serverAddrFor(prov fingerprint.Provider) netip.Addr {
+	switch prov {
+	case fingerprint.YouTube:
+		return netip.MustParseAddr("203.0.113.10")
+	case fingerprint.Netflix:
+		return netip.MustParseAddr("203.0.113.20")
+	case fingerprint.Disney:
+		return netip.MustParseAddr("203.0.113.30")
+	default:
+		return netip.MustParseAddr("203.0.113.40")
+	}
+}
+
+// FlowSpec controls payload shape; zero values draw lab-like defaults.
+type FlowSpec struct {
+	Start      time.Time
+	Duration   time.Duration
+	TotalBytes int64
+	Options    fingerprint.Options
+	// PayloadFrames caps how many representative payload packets are
+	// rendered (handshake frames are always complete). Default 4.
+	PayloadFrames int
+}
+
+// Flow renders one labeled video flow.
+func (g *Generator) Flow(label string, prov fingerprint.Provider, tr fingerprint.Transport, spec FlowSpec) (*FlowTrace, error) {
+	fp, err := fingerprint.Generate(g.rng, label, prov, tr, spec.Options)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Duration == 0 {
+		spec.Duration = time.Duration(60+g.rng.IntN(120)) * time.Second
+	}
+	if spec.TotalBytes == 0 {
+		// ~1-8 Mbps for the drawn duration
+		mbps := 1 + g.rng.Float64()*7
+		spec.TotalBytes = int64(mbps * 1e6 / 8 * spec.Duration.Seconds())
+	}
+	if spec.PayloadFrames == 0 {
+		spec.PayloadFrames = 4
+	}
+	if spec.Start.IsZero() {
+		spec.Start = time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	}
+
+	ft := &FlowTrace{
+		Label: label, Provider: prov, Transport: tr, SNI: fp.SNI,
+		Start: spec.Start, Duration: spec.Duration, TotalBytes: spec.TotalBytes,
+		ClientAddr: netip.AddrFrom4([4]byte{192, 168, 1, byte(2 + g.rng.IntN(250))}),
+		ServerAddr: serverAddrFor(prov),
+		ClientPort: uint16(49152 + g.rng.IntN(16000)),
+		ServerPort: 443,
+	}
+
+	// The ISP observes TTLs after a few campus/home hops.
+	hops := uint8(1 + g.rng.IntN(3))
+	obsTTL := fp.TTL - hops
+
+	if tr == fingerprint.TCP {
+		g.renderTCP(ft, fp, obsTTL, spec)
+	} else {
+		if err := g.renderQUIC(ft, fp, obsTTL, spec); err != nil {
+			return nil, err
+		}
+	}
+	return ft, nil
+}
+
+func (g *Generator) ipTemplate(ft *FlowTrace, ttl uint8, c2s bool) (packet.IPv4, packet.Ethernet) {
+	ip := packet.IPv4{TTL: ttl, Protocol: packet.ProtoTCP,
+		Src: ft.ClientAddr, Dst: ft.ServerAddr, ID: uint16(g.rng.UintN(65536))}
+	if !c2s {
+		ip.Src, ip.Dst = ft.ServerAddr, ft.ClientAddr
+		ip.TTL = 57 // server-side TTL as seen at the tap
+	}
+	return ip, packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+}
+
+func (g *Generator) appendFrame(ft *FlowTrace, off time.Duration, c2s bool, ttl uint8, proto uint8, segment []byte) {
+	ip, eth := g.ipTemplate(ft, ttl, c2s)
+	ip.Protocol = proto
+	frame := eth.Append(nil, ip.Append(nil, segment))
+	ft.Frames = append(ft.Frames, Frame{Offset: off, Data: frame, ClientToServer: c2s})
+}
+
+// renderTCP renders SYN, SYN-ACK, ACK, ClientHello, a server flight and a
+// few payload frames.
+func (g *Generator) renderTCP(ft *FlowTrace, fp *fingerprint.Flow, ttl uint8, spec FlowSpec) {
+	mkOpts := func(syn bool) []packet.TCPOption {
+		var opts []packet.TCPOption
+		if !syn {
+			if fp.Timestamps {
+				tsVal := make([]byte, 8)
+				opts = append(opts, packet.TCPOption{Kind: packet.OptNOP},
+					packet.TCPOption{Kind: packet.OptNOP},
+					packet.TCPOption{Kind: packet.OptTimestamps, Data: tsVal})
+			}
+			return opts
+		}
+		opts = append(opts, packet.TCPOption{Kind: packet.OptMSS,
+			Data: []byte{byte(fp.MSS >> 8), byte(fp.MSS)}})
+		if fp.SACK {
+			opts = append(opts, packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptSACKPermitted})
+		}
+		if fp.Timestamps {
+			tsVal := make([]byte, 8)
+			opts = append(opts, packet.TCPOption{Kind: packet.OptTimestamps, Data: tsVal})
+		}
+		if fp.WScale >= 0 {
+			opts = append(opts, packet.TCPOption{Kind: packet.OptNOP},
+				packet.TCPOption{Kind: packet.OptWindowScale, Data: []byte{byte(fp.WScale)}})
+		}
+		return opts
+	}
+
+	clientSeq := g.rng.Uint32()
+	serverSeq := g.rng.Uint32()
+
+	synFlags := packet.FlagSYN
+	if fp.ECN {
+		synFlags |= packet.FlagECE | packet.FlagCWR
+	}
+	syn := packet.TCP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort,
+		Seq: clientSeq, Flags: synFlags, Window: fp.Window, Options: mkOpts(true)}
+	g.appendFrame(ft, 0, true, ttl, packet.ProtoTCP,
+		syn.Append(nil, nil, ft.ClientAddr, ft.ServerAddr))
+
+	synAck := packet.TCP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort,
+		Seq: serverSeq, Ack: clientSeq + 1, Flags: packet.FlagSYN | packet.FlagACK,
+		Window: 65160, Options: mkOpts(true)}
+	g.appendFrame(ft, 12*time.Millisecond, false, 0, packet.ProtoTCP,
+		synAck.Append(nil, nil, ft.ServerAddr, ft.ClientAddr))
+
+	ack := packet.TCP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort,
+		Seq: clientSeq + 1, Ack: serverSeq + 1, Flags: packet.FlagACK,
+		Window: fp.Window, Options: mkOpts(false)}
+	g.appendFrame(ft, 13*time.Millisecond, true, ttl, packet.ProtoTCP,
+		ack.Append(nil, nil, ft.ClientAddr, ft.ServerAddr))
+
+	chloRecord := fp.Hello.MarshalRecord()
+	chlo := packet.TCP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort,
+		Seq: clientSeq + 1, Ack: serverSeq + 1, Flags: packet.FlagACK | packet.FlagPSH,
+		Window: fp.Window, Options: mkOpts(false)}
+	g.appendFrame(ft, 14*time.Millisecond, true, ttl, packet.ProtoTCP,
+		chlo.Append(nil, chloRecord, ft.ClientAddr, ft.ServerAddr))
+
+	// Server flight (ServerHello + encrypted extensions, abstracted).
+	sh := packet.TCP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort,
+		Seq: serverSeq + 1, Ack: clientSeq + 1 + uint32(len(chloRecord)),
+		Flags: packet.FlagACK | packet.FlagPSH, Window: 65160, Options: mkOpts(false)}
+	g.appendFrame(ft, 26*time.Millisecond, false, 0, packet.ProtoTCP,
+		sh.Append(nil, make([]byte, 1200), ft.ServerAddr, ft.ClientAddr))
+
+	g.renderPayload(ft, spec, packet.ProtoTCP, ttl)
+}
+
+// renderQUIC renders the client Initial (carrying the ClientHello in a
+// CRYPTO frame), a server response datagram and payload frames.
+func (g *Generator) renderQUIC(ft *FlowTrace, fp *fingerprint.Flow, ttl uint8, spec FlowSpec) error {
+	initial := &quicproto.Initial{
+		Version:    quicproto.Version1,
+		DCID:       fp.DCID,
+		SCID:       fp.SCID,
+		CryptoData: fp.Hello.Marshal(),
+	}
+	datagram, err := initial.Seal(fp.QUICTargetSize)
+	if err != nil {
+		return fmt.Errorf("tracegen: sealing initial: %w", err)
+	}
+	udp := packet.UDP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort}
+	g.appendFrame(ft, 0, true, ttl, packet.ProtoUDP,
+		udp.Append(nil, datagram, ft.ClientAddr, ft.ServerAddr))
+
+	// Server Initial+Handshake datagram (opaque to the tap; random bytes
+	// with a long-header first byte).
+	resp := make([]byte, 1200)
+	for i := range resp {
+		resp[i] = byte(g.rng.UintN(256))
+	}
+	resp[0] = 0xc0 | (resp[0] & 0x0f)
+	respUDP := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
+	g.appendFrame(ft, 14*time.Millisecond, false, 0, packet.ProtoUDP,
+		respUDP.Append(nil, resp, ft.ServerAddr, ft.ClientAddr))
+
+	g.renderPayload(ft, spec, packet.ProtoUDP, ttl)
+	return nil
+}
+
+// renderPayload adds a few representative (short-header/application-data)
+// payload frames spread over the flow duration.
+func (g *Generator) renderPayload(ft *FlowTrace, spec FlowSpec, proto uint8, ttl uint8) {
+	n := spec.PayloadFrames
+	for i := 0; i < n; i++ {
+		off := 50*time.Millisecond + time.Duration(float64(spec.Duration)*float64(i+1)/float64(n+1))
+		size := 1200 + g.rng.IntN(200)
+		body := make([]byte, size)
+		if proto == packet.ProtoUDP {
+			body[0] = 0x40 | byte(g.rng.UintN(0x30)) // QUIC short header
+			udp := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
+			g.appendFrame(ft, off, false, 0, proto,
+				udp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
+		} else {
+			tcp := packet.TCP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort,
+				Seq: g.rng.Uint32(), Ack: g.rng.Uint32(), Flags: packet.FlagACK,
+				Window: 65160}
+			g.appendFrame(ft, off, false, 0, proto,
+				tcp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
+		}
+	}
+}
+
+// Session renders a full Fig 2 video session: one management flow to the
+// provider's front-end plus 1–3 content flows.
+func (g *Generator) Session(label string, prov fingerprint.Provider, opts fingerprint.Options) ([]*FlowTrace, error) {
+	var flows []*FlowTrace
+	mgmtOpts := opts
+	mgmtOpts.ManagementFlow = true
+	mgmt, err := g.Flow(label, prov, fingerprint.TCP, FlowSpec{
+		Duration: 5 * time.Second, TotalBytes: 200 << 10, Options: mgmtOpts})
+	if err != nil {
+		return nil, err
+	}
+	flows = append(flows, mgmt)
+
+	tr := fingerprint.TCP
+	if fingerprint.SupportsQUIC(label, prov) && g.rng.Float64() < 0.5 {
+		tr = fingerprint.QUIC
+	}
+	for i, n := 0, 1+g.rng.IntN(3); i < n; i++ {
+		f, err := g.Flow(label, prov, tr, FlowSpec{Options: opts})
+		if err != nil {
+			return nil, err
+		}
+		flows = append(flows, f)
+	}
+	return flows, nil
+}
+
+// WritePCAP writes the traces' frames, merged in timestamp order, as a
+// libpcap file.
+func WritePCAP(w io.Writer, traces []*FlowTrace) error {
+	pw, err := pcap.NewWriter(w, 0)
+	if err != nil {
+		return err
+	}
+	type ev struct {
+		ts   time.Time
+		data []byte
+	}
+	var evs []ev
+	for _, ft := range traces {
+		for _, fr := range ft.Frames {
+			evs = append(evs, ev{ft.Start.Add(fr.Offset), fr.Data})
+		}
+	}
+	// insertion sort by timestamp (trace lists are mostly ordered)
+	for i := 1; i < len(evs); i++ {
+		for j := i; j > 0 && evs[j].ts.Before(evs[j-1].ts); j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	for _, e := range evs {
+		if err := pw.WritePacket(e.ts, e.data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SNIOf extracts the ClientHello SNI from a trace's first client frame, for
+// tests that validate rendering.
+func SNIOf(ft *FlowTrace) (string, error) {
+	var p packet.Parser
+	var out packet.Parsed
+	for _, fr := range ft.Frames {
+		if !fr.ClientToServer {
+			continue
+		}
+		if err := p.Parse(fr.Data, &out); err != nil {
+			return "", err
+		}
+		switch {
+		case out.Has(packet.LayerTCP) && len(out.Payload) > 0:
+			ch, err := tlsproto.ParseRecord(out.Payload)
+			if err != nil {
+				continue
+			}
+			return ch.ServerName(), nil
+		case out.Has(packet.LayerUDP) && quicproto.IsLongHeader(out.Payload):
+			init, err := quicproto.ParseInitial(out.Payload)
+			if err != nil {
+				continue
+			}
+			ch, err := tlsproto.Parse(init.CryptoData)
+			if err != nil {
+				continue
+			}
+			return ch.ServerName(), nil
+		}
+	}
+	return "", fmt.Errorf("tracegen: no ClientHello found")
+}

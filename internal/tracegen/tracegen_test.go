@@ -1,0 +1,257 @@
+package tracegen
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+	"videoplat/internal/pcap"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+)
+
+func TestTCPFlowRendersParseableHandshake(t *testing.T) {
+	g := New(1)
+	ft, err := g.Flow("windows_firefox", fingerprint.Netflix, fingerprint.TCP, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ft.Frames) < 5 {
+		t.Fatalf("frames = %d", len(ft.Frames))
+	}
+	var p packet.Parser
+	var out packet.Parsed
+	// Frame 0 must be the SYN with Firefox/Windows stack parameters.
+	if err := p.Parse(ft.Frames[0].Data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TCP.Flags&packet.FlagSYN == 0 {
+		t.Error("first frame not SYN")
+	}
+	if out.IP4.TTL >= 128 || out.IP4.TTL < 120 {
+		t.Errorf("observed TTL = %d, want 128 minus a few hops", out.IP4.TTL)
+	}
+	if out.TCP.MSS() != 1460 {
+		t.Errorf("MSS = %d", out.TCP.MSS())
+	}
+	sni, err := SNIOf(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sni, "nflxvideo.net") {
+		t.Errorf("SNI = %q", sni)
+	}
+}
+
+func TestQUICFlowRendersDecryptableInitial(t *testing.T) {
+	g := New(2)
+	ft, err := g.Flow("macOS_chrome", fingerprint.YouTube, fingerprint.QUIC, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Parser
+	var out packet.Parsed
+	if err := p.Parse(ft.Frames[0].Data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Has(packet.LayerUDP) {
+		t.Fatal("first frame not UDP")
+	}
+	init, err := quicproto.ParseInitial(out.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if init.WireSize < 1200 {
+		t.Errorf("initial size = %d", init.WireSize)
+	}
+	ch, err := tlsproto.Parse(init.CryptoData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ch.ServerName(), "googlevideo.com") {
+		t.Errorf("SNI = %q", ch.ServerName())
+	}
+	ext, ok := ch.Extension(tlsproto.ExtQUICTransportParams)
+	if !ok {
+		t.Fatal("no transport params in rendered CHLO")
+	}
+	if _, err := quicproto.ParseTransportParameters(ext.Data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionAnatomy(t *testing.T) {
+	g := New(3)
+	flows, err := g.Session("iOS_nativeApp", fingerprint.Disney, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) < 2 {
+		t.Fatalf("session has %d flows, want >= 2", len(flows))
+	}
+	if flows[0].SNI != "www.disneyplus.com" {
+		t.Errorf("management SNI = %q", flows[0].SNI)
+	}
+	for _, f := range flows[1:] {
+		if !strings.Contains(f.SNI, "dssott.com") {
+			t.Errorf("content SNI = %q", f.SNI)
+		}
+	}
+}
+
+func TestLabDatasetComposition(t *testing.T) {
+	g := New(4)
+	d, err := g.LabDataset(0.05, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Flows) == 0 {
+		t.Fatal("empty dataset")
+	}
+	// Every non-empty Table 1 cell must be represented.
+	type cell struct {
+		label string
+		prov  fingerprint.Provider
+	}
+	got := map[cell]int{}
+	quicFlows := 0
+	for _, f := range d.Flows {
+		got[cell{f.Label, f.Provider}]++
+		if f.Transport == fingerprint.QUIC {
+			quicFlows++
+			if f.Provider != fingerprint.YouTube {
+				t.Errorf("QUIC flow for %s", f.Provider)
+			}
+		}
+	}
+	for label, counts := range Table1Counts {
+		for pi, prov := range fingerprint.AllProviders() {
+			c := cell{label, prov}
+			if counts[pi] == 0 && got[c] > 0 {
+				t.Errorf("unsupported cell %s/%s has %d flows", label, prov, got[c])
+			}
+			if counts[pi] > 0 && got[c] < 8 {
+				t.Errorf("cell %s/%s has %d flows, want >= 8", label, prov, got[c])
+			}
+		}
+	}
+	if quicFlows == 0 {
+		t.Error("no QUIC flows in lab dataset")
+	}
+	if got := len(d.Labels()); got != 17 {
+		t.Errorf("distinct labels = %d, want 17", got)
+	}
+}
+
+func TestOpenSetDataset(t *testing.T) {
+	g := New(5)
+	d, err := g.OpenSetDataset(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 platforms × supported providers, ≥2 flows each.
+	if len(d.Flows) < 60 {
+		t.Fatalf("open-set flows = %d", len(d.Flows))
+	}
+	ytQUIC := d.Filter(fingerprint.YouTube, fingerprint.QUIC)
+	if len(ytQUIC) != 12*2 {
+		t.Errorf("YT QUIC flows = %d, want 24", len(ytQUIC))
+	}
+}
+
+func TestWritePCAPRoundTrip(t *testing.T) {
+	g := New(6)
+	ft, err := g.Flow("android_nativeApp", fingerprint.YouTube, fingerprint.QUIC, FlowSpec{
+		Start: time.Date(2023, 8, 1, 10, 0, 0, 0, time.UTC)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, []*FlowTrace{ft}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcap.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var last time.Time
+	for {
+		pkt, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkt.Timestamp.Before(last) {
+			t.Error("packets not in timestamp order")
+		}
+		last = pkt.Timestamp
+		n++
+	}
+	if n != len(ft.Frames) {
+		t.Errorf("pcap packets = %d, want %d", n, len(ft.Frames))
+	}
+}
+
+func TestFlowKeyProto(t *testing.T) {
+	g := New(7)
+	tcp, err := g.Flow("ps5_nativeApp", fingerprint.Amazon, fingerprint.TCP, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Key().Proto != packet.ProtoTCP {
+		t.Error("TCP flow key proto wrong")
+	}
+	quic, err := g.Flow("windows_chrome", fingerprint.YouTube, fingerprint.QUIC, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quic.Key().Proto != packet.ProtoUDP {
+		t.Error("QUIC flow key proto wrong")
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, err := New(42).Flow("macOS_safari", fingerprint.YouTube, fingerprint.TCP, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(42).Flow("macOS_safari", fingerprint.YouTube, fingerprint.TCP, FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Frames) != len(b.Frames) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.Frames), len(b.Frames))
+	}
+	for i := range a.Frames {
+		if !bytes.Equal(a.Frames[i].Data, b.Frames[i].Data) {
+			t.Fatalf("frame %d differs across identical seeds", i)
+		}
+	}
+}
+
+func BenchmarkRenderTCPFlow(b *testing.B) {
+	g := New(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Flow("windows_chrome", fingerprint.Netflix, fingerprint.TCP, FlowSpec{PayloadFrames: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRenderQUICFlow(b *testing.B) {
+	g := New(9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Flow("windows_chrome", fingerprint.YouTube, fingerprint.QUIC, FlowSpec{PayloadFrames: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

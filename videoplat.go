@@ -1,0 +1,114 @@
+// Package videoplat identifies the user platform — device type (Windows,
+// macOS, Android, iOS, smart TV/console) and software agent (native app,
+// Chrome, Firefox, Safari, Edge, Samsung Internet) — of video-streaming
+// flows from YouTube, Netflix, Disney+ and Amazon Prime Video by analyzing
+// only their TCP/QUIC and TLS handshake packets, as described in
+// "Characterizing User Platforms for Video Streaming in Broadband Networks"
+// (IMC 2024).
+//
+// The package is a facade over the implementation packages:
+//
+//   - GenerateLabDataset / GenerateOpenSetDataset render labeled synthetic
+//     packet traces with the composition of the paper's Table 1;
+//   - Train fits the per-provider classifier bank (3 objectives × 4
+//     providers, with separate TCP and QUIC models for YouTube);
+//   - NewPipeline wires a trained bank into a streaming packet processor
+//     that detects video flows by SNI, extracts the 62 Table 2 attributes
+//     from handshake packets, classifies the user platform with an 80%
+//     confidence selector, and accumulates per-flow telemetry;
+//   - NewAggregator summarizes classified flows into the watch-time,
+//     bandwidth and temporal-usage statistics of the paper's §5.
+//
+// See examples/quickstart for an end-to-end walkthrough and
+// cmd/vpexperiments for the harness that regenerates every table and figure
+// in the paper.
+package videoplat
+
+import (
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/ml"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/telemetry"
+	"videoplat/internal/tracegen"
+)
+
+// Re-exported core types. The aliases give downstream users a single import
+// while keeping the implementation split into focused packages.
+type (
+	// Provider is a video content provider (YouTube, Netflix, Disney,
+	// Amazon).
+	Provider = fingerprint.Provider
+	// Transport is a flow's transport protocol (TCP or QUIC).
+	Transport = fingerprint.Transport
+	// Dataset is a labeled collection of rendered video-flow traces.
+	Dataset = tracegen.Dataset
+	// FlowTrace is one rendered, labeled video flow.
+	FlowTrace = tracegen.FlowTrace
+	// Bank is the trained classifier bank of Fig 4.
+	Bank = pipeline.Bank
+	// Pipeline is the streaming packet processor.
+	Pipeline = pipeline.Pipeline
+	// FlowRecord is a classified flow with telemetry.
+	FlowRecord = pipeline.FlowRecord
+	// Prediction is a confidence-selected platform prediction.
+	Prediction = pipeline.Prediction
+	// Aggregator accumulates classified flows into §5-style statistics.
+	Aggregator = telemetry.Aggregator
+	// BoxStats is a five-number bandwidth summary.
+	BoxStats = telemetry.BoxStats
+	// ForestConfig holds the random-forest hyperparameters.
+	ForestConfig = ml.ForestConfig
+)
+
+// Providers.
+const (
+	YouTube = fingerprint.YouTube
+	Netflix = fingerprint.Netflix
+	Disney  = fingerprint.Disney
+	Amazon  = fingerprint.Amazon
+)
+
+// Transports.
+const (
+	TCP  = fingerprint.TCP
+	QUIC = fingerprint.QUIC
+)
+
+// Prediction statuses of the §4.1 confidence selector.
+const (
+	Composite = pipeline.Composite
+	Partial   = pipeline.Partial
+	Unknown   = pipeline.Unknown
+)
+
+// Platforms lists the 17 user-platform labels of Table 1
+// (e.g. "windows_chrome", "iOS_nativeApp", "ps5_nativeApp").
+func Platforms() []string { return fingerprint.AllPlatformLabels() }
+
+// GenerateLabDataset renders the paper's Table 1 lab dataset at the given
+// scale in (0, 1]; scale 1.0 produces the full ~10,000 flows.
+func GenerateLabDataset(seed uint64, scale float64) (*Dataset, error) {
+	return tracegen.New(seed).LabDataset(scale, fingerprint.Options{})
+}
+
+// GenerateOpenSetDataset renders the §4.3.2 open-set dataset with
+// version-drifted platform profiles, n flows per (platform, provider,
+// transport) combination.
+func GenerateOpenSetDataset(seed uint64, n int) (*Dataset, error) {
+	return tracegen.New(seed).OpenSetDataset(n)
+}
+
+// Train fits the classifier bank on a labeled dataset. A zero ForestConfig
+// selects the paper's tuned hyperparameters (depth 20, 34 candidate
+// attributes per split).
+func Train(ds *Dataset, cfg ForestConfig) (*Bank, error) {
+	return pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: cfg})
+}
+
+// NewPipeline returns a streaming packet processor over a trained bank.
+// Feed it raw Ethernet frames via HandlePacket.
+func NewPipeline(bank *Bank) *Pipeline { return pipeline.New(bank) }
+
+// NewAggregator returns a telemetry aggregator normalizing watch time over
+// the given number of days.
+func NewAggregator(days float64) *Aggregator { return &Aggregator{Days: days} }

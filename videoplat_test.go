@@ -1,0 +1,75 @@
+package videoplat_test
+
+import (
+	"testing"
+
+	"videoplat"
+	"videoplat/internal/tracegen"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	ds, err := videoplat.GenerateLabDataset(1, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Flows) == 0 {
+		t.Fatal("empty dataset")
+	}
+	bank, err := videoplat.Train(ds, videoplat.ForestConfig{NumTrees: 10, MaxDepth: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := tracegen.New(1234)
+	ft, err := g.Flow("windows_firefox", videoplat.Netflix, videoplat.TCP, tracegen.FlowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := videoplat.NewPipeline(bank)
+	var got *videoplat.FlowRecord
+	for _, fr := range ft.Frames {
+		rec, err := p.HandlePacket(ft.Start.Add(fr.Offset), fr.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec != nil {
+			got = rec
+		}
+	}
+	if got == nil {
+		t.Fatal("flow never classified")
+	}
+	if got.Provider != videoplat.Netflix {
+		t.Errorf("provider = %v", got.Provider)
+	}
+	if got.Prediction.Status == videoplat.Composite && got.Prediction.Platform != "windows_firefox" {
+		t.Errorf("platform = %q", got.Prediction.Platform)
+	}
+
+	agg := videoplat.NewAggregator(1)
+	for _, rec := range p.Flows() {
+		agg.Add(rec)
+	}
+	if agg.Len() != 1 {
+		t.Errorf("aggregator records = %d", agg.Len())
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	if got := len(videoplat.Platforms()); got != 17 {
+		t.Errorf("platforms = %d, want 17", got)
+	}
+}
+
+func TestFacadeOpenSet(t *testing.T) {
+	ds, err := videoplat.GenerateOpenSetDataset(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Flows) < 40 {
+		t.Errorf("open-set flows = %d", len(ds.Flows))
+	}
+}
