@@ -12,6 +12,7 @@
 package videoplat_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -435,5 +436,61 @@ func BenchmarkShardedThroughput(b *testing.B) {
 			s.HandlePacket(start, fr.Data)
 		}
 		s.Close()
+	}
+}
+
+// BenchmarkShardedPacketRate sweeps shard counts on a fixed mixed workload
+// and reports packets/sec — the scaling baseline future PRs (wider sharding,
+// batching, live capture) are measured against. The bounded-table variant
+// runs the same workload with production flow-table limits to show the
+// eviction machinery's overhead.
+func BenchmarkShardedPacketRate(b *testing.B) {
+	bank := trainedBank(b)
+	g := tracegen.New(653)
+	var frames []tracegen.Frame
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	labels := fingerprint.AllPlatformLabels()
+	for i := 0; i < 50; i++ {
+		label := labels[i%len(labels)]
+		prov := fingerprint.AllProviders()[i%4]
+		if !fingerprint.SupportMatrix(label, prov) {
+			prov = fingerprint.YouTube
+		}
+		if !fingerprint.SupportMatrix(label, prov) {
+			continue
+		}
+		tr := fingerprint.TCP
+		if !fingerprint.SupportsTCP(label, prov) {
+			tr = fingerprint.QUIC
+		}
+		ft, err := g.Flow(label, prov, tr, tracegen.FlowSpec{Start: start, PayloadFrames: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, ft.Frames...)
+	}
+
+	run := func(b *testing.B, shards int, cfg pipeline.Config) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := pipeline.NewShardedWithConfig(bank, shards, cfg)
+			go func() {
+				for range s.Results() {
+				}
+			}()
+			for _, fr := range frames {
+				s.HandlePacket(start, fr.Data)
+			}
+			s.Close()
+		}
+		b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "pkts/s")
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			run(b, shards, pipeline.Config{})
+		})
+		b.Run(fmt.Sprintf("shards=%d/bounded", shards), func(b *testing.B) {
+			run(b, shards, pipeline.Config{MaxFlows: 1024, IdleTimeout: 90 * time.Second})
+		})
 	}
 }

@@ -1,0 +1,141 @@
+// Command vpserve is the streaming ingest daemon: it replays a pcap/pcapng
+// capture (or generates synthetic traffic) through the sharded
+// classification pipeline with bounded per-shard flow tables, rolls
+// finalized flows into tumbling telemetry windows written as JSONL, and
+// serves an operations API (/stats, /flows, /healthz, /metrics) while it
+// runs. SIGINT/SIGTERM trigger a graceful shutdown that drains the shards
+// and flushes the final partial window.
+//
+// Usage:
+//
+//	vpserve -model bank.gob -pcap capture.pcap -rate 5000 -rollup windows.jsonl
+//	vpserve -synth 500 -addr :8080            # self-train a demo bank, synthetic load
+//	vpserve -pcap capture.pcap -exit-when-done
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/ml"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/server"
+	"videoplat/internal/telemetry"
+	"videoplat/internal/tracegen"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "operations API listen address")
+		model        = flag.String("model", "", "trained model from vptrain (default: self-train a small demo bank)")
+		pcapPath     = flag.String("pcap", "", "pcap/pcapng file to replay")
+		synth        = flag.Int("synth", 0, "generate N synthetic video sessions instead of replaying a file (0 with no -pcap: unlimited)")
+		seed         = flag.Uint64("seed", 1, "seed for synthetic traffic and self-training")
+		rate         = flag.Float64("rate", 0, "replay pace in packets/sec (0 = as fast as possible)")
+		shards       = flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS)")
+		maxFlows     = flag.Int("max-flows", 65536, "flow-table cap across shards (<0 = unbounded)")
+		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
+		window       = flag.Duration("window", time.Minute, "rollup window width")
+		rollupOut    = flag.String("rollup", "", "JSONL file receiving sealed rollup windows (default: discard)")
+		trainScale   = flag.Float64("train-scale", 0.04, "lab-dataset scale for the self-trained bank")
+		exitWhenDone = flag.Bool("exit-when-done", false, "shut down once the replay source is exhausted")
+	)
+	flag.Parse()
+
+	bank := loadOrTrainBank(*model, *seed, *trainScale)
+
+	var src server.Source
+	switch {
+	case *pcapPath != "":
+		var err error
+		src, err = server.OpenFileSource(*pcapPath)
+		exitOn(err)
+		fmt.Fprintf(os.Stderr, "vpserve: replaying %s\n", *pcapPath)
+	default:
+		src = server.NewSynthSource(*seed, *synth)
+		fmt.Fprintf(os.Stderr, "vpserve: generating synthetic traffic (%v sessions)\n", sessionsDesc(*synth))
+	}
+
+	var sink telemetry.Sink
+	if *rollupOut != "" {
+		f, err := os.Create(*rollupOut)
+		exitOn(err)
+		defer f.Close()
+		sink = telemetry.NewJSONLSink(f)
+	}
+
+	srv, err := server.New(bank, src, server.Config{
+		Addr:        *addr,
+		Shards:      *shards,
+		MaxFlows:    *maxFlows,
+		IdleTimeout: *idleTimeout,
+		WindowWidth: *window,
+		Rate:        *rate,
+		Sink:        sink,
+	})
+	exitOn(err)
+	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /healthz /metrics)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *exitWhenDone {
+		inner := ctx
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		go func() {
+			select {
+			case <-srv.ReplayDone():
+				fmt.Fprintln(os.Stderr, "vpserve: replay finished, shutting down")
+				cancel()
+			case <-inner.Done():
+			}
+		}()
+	}
+
+	exitOn(srv.Run(ctx))
+
+	st := srv.Snapshot()
+	fmt.Fprintf(os.Stderr,
+		"vpserve: done — %d packets, %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows\n",
+		st.Replay.Packets, st.FlowTable.Inserted,
+		st.FlowTable.EvictedIdle, st.FlowTable.EvictedCap,
+		st.ClassifiedFlows, st.Rollup.Sealed)
+}
+
+func loadOrTrainBank(path string, seed uint64, scale float64) *pipeline.Bank {
+	if path != "" {
+		blob, err := os.ReadFile(path)
+		exitOn(err)
+		var bank pipeline.Bank
+		exitOn(bank.UnmarshalBinary(blob))
+		return &bank
+	}
+	fmt.Fprintf(os.Stderr, "vpserve: no -model given, self-training a demo bank (scale %.2f)...\n", scale)
+	ds, err := tracegen.New(seed^0x5eed).LabDataset(scale, fingerprint.Options{})
+	exitOn(err)
+	bank, err := pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: ml.ForestConfig{
+		NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: seed}})
+	exitOn(err)
+	return bank
+}
+
+func sessionsDesc(n int) string {
+	if n <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprint(n)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module videoplat
+
+go 1.24

@@ -8,6 +8,7 @@ package ml
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 )
 
 // Dataset is a labeled design matrix. Rows of X are feature vectors; Y holds
@@ -111,8 +112,17 @@ func StratifiedKFold(d *Dataset, k int, rng *rand.Rand) [][]int {
 	for i, y := range d.Y {
 		byClass[y] = append(byClass[y], i)
 	}
+	// Iterate classes in index order: ranging over the map would consume
+	// the rng in per-process-random order and make fold composition (and
+	// thus cross-validated accuracies) nondeterministic across runs.
+	classes := make([]int, 0, len(byClass))
+	for y := range byClass {
+		classes = append(classes, y)
+	}
+	sort.Ints(classes)
 	folds := make([][]int, k)
-	for _, rows := range byClass {
+	for _, y := range classes {
+		rows := byClass[y]
 		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
 		for i, r := range rows {
 			folds[i%k] = append(folds[i%k], r)

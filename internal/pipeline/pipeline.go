@@ -5,6 +5,7 @@ import (
 
 	"videoplat/internal/features"
 	"videoplat/internal/fingerprint"
+	"videoplat/internal/flowtable"
 	"videoplat/internal/packet"
 )
 
@@ -45,13 +46,33 @@ type flowState struct {
 	done         bool           // classification finished (or rejected)
 }
 
+// Config bounds a Pipeline's flow table for long-running deployments.
+// The zero value reproduces the batch behaviour: every flow is kept until
+// Reset, which is fine for finite traces but leaks under a live tap.
+type Config struct {
+	// MaxFlows caps tracked flows (LRU eviction on overflow). 0 = unbounded.
+	MaxFlows int
+	// IdleTimeout retires flows with no packet for this long, measured in
+	// packet time so trace replay and live capture behave identically.
+	// 0 = never.
+	IdleTimeout time.Duration
+	// OnEvict, if non-nil, receives a copy of each evicted flow's final
+	// record — identical to what Flows() would have reported — so evicted
+	// telemetry can reach a sink instead of vanishing. Called synchronously
+	// from HandlePacket (for Sharded, from the owning shard's goroutine).
+	OnEvict func(rec *FlowRecord, reason flowtable.Reason)
+}
+
 // Pipeline is the streaming packet processor of Fig 4. Feed packets with
 // HandlePacket; classified flows are returned as events and accumulated for
 // Flows(). Not safe for concurrent use; shard by flow hash across instances
 // for multi-core deployments, as the DPDK prototype does.
 type Pipeline struct {
-	Bank  *Bank
-	flows map[packet.FlowKey]*flowState
+	Bank *Bank
+
+	cfg       Config
+	flows     *flowtable.Table[*flowState]
+	lastSweep time.Time
 
 	parser packet.Parser
 	parsed packet.Parsed
@@ -60,10 +81,26 @@ type Pipeline struct {
 	Packets, VideoPackets, ClassifiedFlows, UnknownFlows int
 }
 
-// New returns a Pipeline over a trained bank.
-func New(bank *Bank) *Pipeline {
-	return &Pipeline{Bank: bank, flows: map[packet.FlowKey]*flowState{}}
+// New returns a Pipeline over a trained bank with an unbounded flow table.
+func New(bank *Bank) *Pipeline { return NewWithConfig(bank, Config{}) }
+
+// NewWithConfig returns a Pipeline whose flow table is bounded by cfg.
+func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
+	p := &Pipeline{Bank: bank, cfg: cfg}
+	p.flows = flowtable.New[*flowState](
+		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
+		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
+			if cfg.OnEvict != nil {
+				rec := st.rec
+				cfg.OnEvict(&rec, reason)
+			}
+		})
+	return p
 }
+
+// TableStats reports the flow table's occupancy and eviction counters.
+// Safe to call from any goroutine while the pipeline is running.
+func (p *Pipeline) TableStats() flowtable.Stats { return p.flows.Stats() }
 
 // HandlePacket processes one frame. It returns a non-nil FlowRecord exactly
 // when the frame completed a flow's classification.
@@ -80,13 +117,14 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 	if key.SrcPort != 443 && key.DstPort != 443 {
 		return nil, nil
 	}
+	p.maybeSweep(ts)
 	canon := key.Canonical()
-	st := p.flows[canon]
-	if st == nil {
+	st, ok := p.flows.Touch(canon, ts)
+	if !ok {
 		st = &flowState{clientKey: key}
 		st.rec.Key = key
 		st.rec.FirstSeen = ts
-		p.flows[canon] = st
+		p.flows.Put(canon, st, ts)
 	}
 
 	// Telemetry split by direction.
@@ -151,16 +189,41 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 	return &out, nil
 }
 
-// Flows returns the accumulated per-flow records (classified or not), with
-// final telemetry.
+// maybeSweep runs idle expiry at most once per quarter idle-timeout,
+// driven by packet timestamps. Evictions therefore lag idleness by at most
+// a quarter timeout of trace time.
+func (p *Pipeline) maybeSweep(ts time.Time) {
+	if p.cfg.IdleTimeout <= 0 {
+		return
+	}
+	if p.lastSweep.IsZero() {
+		p.lastSweep = ts
+		return
+	}
+	if ts.Sub(p.lastSweep) >= p.cfg.IdleTimeout/4 {
+		p.flows.ExpireIdle(ts)
+		p.lastSweep = ts
+	}
+}
+
+// Flows returns the tracked per-flow records (classified or not), with
+// final telemetry. Flows already evicted from a bounded table are not
+// included — they were delivered to Config.OnEvict with the same record
+// contents at eviction time, so OnEvict output plus Flows() covers every
+// flow exactly once.
 func (p *Pipeline) Flows() []*FlowRecord {
-	out := make([]*FlowRecord, 0, len(p.flows))
-	for _, st := range p.flows {
+	out := make([]*FlowRecord, 0, p.flows.Len())
+	p.flows.Range(func(_ packet.FlowKey, st *flowState) bool {
 		rec := st.rec
 		out = append(out, &rec)
-	}
+		return true
+	})
 	return out
 }
 
-// Reset drops all flow state (e.g. between measurement windows).
-func (p *Pipeline) Reset() { p.flows = map[packet.FlowKey]*flowState{} }
+// Reset drops all flow state (e.g. between measurement windows) without
+// invoking the eviction hook.
+func (p *Pipeline) Reset() {
+	p.flows.Clear()
+	p.lastSweep = time.Time{}
+}

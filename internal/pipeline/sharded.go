@@ -2,8 +2,10 @@ package pipeline
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"videoplat/internal/flowtable"
 	"videoplat/internal/packet"
 )
 
@@ -11,39 +13,61 @@ import (
 // multi-queue arrangement the paper's DPDK prototype uses to keep up with a
 // 20 Gbps tap. Hashing is symmetric (both directions of a flow land on the
 // same shard), and each shard owns its flow table, so shards never contend.
+//
+// Results delivery contract: classified-flow records are delivered on
+// Results() on a best-effort basis. A consumer that stops draining does not
+// block the shard workers — once the buffer fills, further records are
+// counted in Dropped() and discarded, so Close never deadlocks on a stalled
+// consumer. Complete final state is always available from Flows() (plus the
+// Config.OnEvict hook for flows evicted from a bounded table).
 type Sharded struct {
 	shards  []*shard
 	results chan *FlowRecord
+	dropped atomic.Uint64
 	wg      sync.WaitGroup
 }
 
 type shard struct {
-	in chan shardPacket
+	in chan shardMsg
 	p  *Pipeline
 }
 
-type shardPacket struct {
+// shardMsg is either a packet or, when snap is non-nil, a request for the
+// shard's current flow records (answered from the worker goroutine, so
+// snapshots never race packet processing).
+type shardMsg struct {
 	ts    time.Time
 	frame []byte
+	snap  chan []*FlowRecord
 }
 
-// NewSharded starts n shard workers over a shared trained bank. Results
-// (classified flows) are delivered on Results; call Close to drain and stop.
-func NewSharded(bank *Bank, n int) *Sharded {
+// NewSharded starts n shard workers over a shared trained bank with
+// unbounded per-shard flow tables.
+func NewSharded(bank *Bank, n int) *Sharded { return NewShardedWithConfig(bank, n, Config{}) }
+
+// NewShardedWithConfig starts n shard workers whose pipelines are each
+// bounded by cfg. cfg.MaxFlows applies per shard; cfg.OnEvict is invoked
+// from shard goroutines and must be safe for concurrent use. Call Close to
+// drain and stop.
+func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 	if n < 1 {
 		n = 1
 	}
 	s := &Sharded{results: make(chan *FlowRecord, 64)}
 	for i := 0; i < n; i++ {
-		sh := &shard{in: make(chan shardPacket, 256), p: New(bank)}
+		sh := &shard{in: make(chan shardMsg, 256), p: NewWithConfig(bank, cfg)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			for pkt := range sh.in {
-				rec, err := sh.p.HandlePacket(pkt.ts, pkt.frame)
+			for msg := range sh.in {
+				if msg.snap != nil {
+					msg.snap <- sh.p.Flows()
+					continue
+				}
+				rec, err := sh.p.HandlePacket(msg.ts, msg.frame)
 				if err == nil && rec != nil {
-					s.results <- rec
+					s.deliver(rec)
 				}
 			}
 		}()
@@ -51,8 +75,23 @@ func NewSharded(bank *Bank, n int) *Sharded {
 	return s
 }
 
-// Results delivers classified flow records as they complete.
+// deliver offers a record to the results channel without ever blocking a
+// shard worker; records nobody is draining are dropped and counted.
+func (s *Sharded) deliver(rec *FlowRecord) {
+	select {
+	case s.results <- rec:
+	default:
+		s.dropped.Add(1)
+	}
+}
+
+// Results delivers classified flow records as they complete. See the type
+// comment for the best-effort delivery contract.
 func (s *Sharded) Results() <-chan *FlowRecord { return s.results }
+
+// Dropped reports how many results were discarded because the consumer was
+// not draining Results. Safe from any goroutine.
+func (s *Sharded) Dropped() uint64 { return s.dropped.Load() }
 
 // HandlePacket routes one frame to its flow's shard. The frame is copied, so
 // callers may reuse the buffer.
@@ -67,7 +106,7 @@ func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
 	}
 	buf := make([]byte, len(frame))
 	copy(buf, frame)
-	s.shards[idx].in <- shardPacket{ts: ts, frame: buf}
+	s.shards[idx].in <- shardMsg{ts: ts, frame: buf}
 }
 
 // Close stops the workers after draining queued packets and closes Results.
@@ -86,6 +125,36 @@ func (s *Sharded) Flows() []*FlowRecord {
 		out = append(out, sh.p.Flows()...)
 	}
 	return out
+}
+
+// SnapshotFlows gathers every shard's current flow records while the
+// workers are running, by queueing a snapshot request behind each shard's
+// pending packets. Must not be called after (or concurrently with) Close.
+func (s *Sharded) SnapshotFlows() []*FlowRecord {
+	chans := make([]chan []*FlowRecord, len(s.shards))
+	for i, sh := range s.shards {
+		chans[i] = make(chan []*FlowRecord, 1)
+		sh.in <- shardMsg{snap: chans[i]}
+	}
+	var out []*FlowRecord
+	for _, c := range chans {
+		out = append(out, <-c...)
+	}
+	return out
+}
+
+// TableStats sums the flow-table counters across shards. Safe from any
+// goroutine while the workers run.
+func (s *Sharded) TableStats() flowtable.Stats {
+	var st flowtable.Stats
+	for _, sh := range s.shards {
+		t := sh.p.TableStats()
+		st.Active += t.Active
+		st.Inserted += t.Inserted
+		st.EvictedIdle += t.EvictedIdle
+		st.EvictedCap += t.EvictedCap
+	}
+	return st
 }
 
 // hashKey is an FNV-1a over the canonical 5-tuple; symmetric because the

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"os"
+	"sort"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/pcap"
+	"videoplat/internal/tracegen"
+)
+
+// Source streams timestamped frames into the daemon: a pcap/pcapng replay
+// or synthetic traffic. Next returns io.EOF when the source is exhausted.
+// Sources need not be safe for concurrent use; the replay loop is the only
+// reader. A Source that also implements io.Closer is closed by the Server
+// at shutdown, whether or not the replay reached EOF.
+type Source interface {
+	Next() (pcap.Packet, error)
+}
+
+// fileSource replays a capture file. The Server closes it at shutdown (see
+// the io.Closer note on Source), covering replays cancelled before EOF.
+type fileSource struct {
+	f *os.File
+	r interface{ Next() (pcap.Packet, error) }
+}
+
+// OpenFileSource opens a pcap or pcapng file as a Source.
+func OpenFileSource(path string) (Source, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := pcap.OpenReader(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("server: opening capture %s: %w", path, err)
+	}
+	return &fileSource{f: f, r: r}, nil
+}
+
+func (s *fileSource) Next() (pcap.Packet, error) { return s.r.Next() }
+
+// Close releases the underlying capture file.
+func (s *fileSource) Close() error { return s.f.Close() }
+
+// SynthSource renders tracegen video sessions on the fly — a load generator
+// for soak-testing the daemon without a capture file. Sessions start at
+// 30-second intervals of trace time, mirroring cmd/vpgen.
+type SynthSource struct {
+	g        *tracegen.Generator
+	rng      *rand.Rand
+	start    time.Time
+	sessions int // remaining sessions to render
+	rendered int
+	queue    []pcap.Packet
+}
+
+// NewSynthSource returns a Source producing n synthetic video sessions
+// (io.EOF afterwards; n <= 0 means unlimited).
+func NewSynthSource(seed uint64, n int) *SynthSource {
+	if n <= 0 {
+		n = int(^uint(0) >> 1) // effectively unlimited
+	}
+	return &SynthSource{
+		g:        tracegen.New(seed),
+		rng:      rand.New(rand.NewPCG(seed, 2)),
+		start:    time.Date(2023, 7, 7, 12, 0, 0, 0, time.UTC),
+		sessions: n,
+	}
+}
+
+func (s *SynthSource) Next() (pcap.Packet, error) {
+	for {
+		// Render the next session as soon as the queue head would pass its
+		// start time, so concurrent sessions genuinely overlap and emitted
+		// timestamps stay monotonic (a session's frames span minutes,
+		// well past the next session's 30-second-later start).
+		nextBase := s.start.Add(time.Duration(s.rendered) * 30 * time.Second)
+		if s.sessions > 0 && (len(s.queue) == 0 || !s.queue[0].Timestamp.Before(nextBase)) {
+			if err := s.renderSession(); err != nil {
+				return pcap.Packet{}, err
+			}
+			continue
+		}
+		if len(s.queue) == 0 {
+			return pcap.Packet{}, io.EOF
+		}
+		pkt := s.queue[0]
+		s.queue = s.queue[1:]
+		return pkt, nil
+	}
+}
+
+func (s *SynthSource) renderSession() error {
+	provs := fingerprint.AllProviders()
+	prov := provs[s.rng.IntN(len(provs))]
+	var labels []string
+	for _, l := range fingerprint.AllPlatformLabels() {
+		if fingerprint.SupportMatrix(l, prov) {
+			labels = append(labels, l)
+		}
+	}
+	label := labels[s.rng.IntN(len(labels))]
+	flows, err := s.g.Session(label, prov, fingerprint.Options{})
+	if err != nil {
+		return fmt.Errorf("server: rendering session: %w", err)
+	}
+	base := s.start.Add(time.Duration(s.rendered) * 30 * time.Second)
+	for _, ft := range flows {
+		for _, fr := range ft.Frames {
+			s.queue = append(s.queue, pcap.Packet{
+				Timestamp: base.Add(fr.Offset),
+				Data:      fr.Data,
+				OrigLen:   len(fr.Data),
+			})
+		}
+	}
+	sort.SliceStable(s.queue, func(i, j int) bool {
+		return s.queue[i].Timestamp.Before(s.queue[j].Timestamp)
+	})
+	s.rendered++
+	s.sessions--
+	return nil
+}

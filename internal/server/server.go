@@ -1,0 +1,500 @@
+// Package server turns the batch classification pipeline into a
+// long-running streaming ingest daemon: a replay source streams frames at a
+// configurable packet rate through the sharded pipeline, per-shard flow
+// tables are bounded (LRU + idle eviction) so memory stays flat under
+// sustained traffic, finalized flows roll up into tumbling telemetry
+// windows retired to a pluggable sink, and an HTTP operations API exposes
+// live counters (/stats), the active flow table (/flows), liveness
+// (/healthz) and Prometheus-style gauges (/metrics).
+//
+// This is the service surface the paper's continuous broadband deployment
+// implies but the batch tools lack; cmd/vpserve is the daemon entrypoint.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videoplat/internal/flowtable"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/telemetry"
+)
+
+// Config tunes the daemon. Zero values select production-ish defaults.
+type Config struct {
+	// Addr is the operations API listen address (default "127.0.0.1:8080";
+	// use ":0" to let the kernel pick a free port, e.g. in tests).
+	Addr string
+	// Shards is the pipeline fan-out width (default GOMAXPROCS).
+	Shards int
+	// MaxFlows caps tracked flows across all shards (default 65536,
+	// divided evenly per shard; <0 = unbounded).
+	MaxFlows int
+	// IdleTimeout retires flows with no packet for this long, in trace
+	// time (default 90s; <0 = never).
+	IdleTimeout time.Duration
+	// WindowWidth is the tumbling rollup window width (default 1 minute).
+	WindowWidth time.Duration
+	// Rate paces the replay in packets per wall-clock second (0 = as fast
+	// as possible).
+	Rate float64
+	// Sink receives sealed rollup windows (nil = discard).
+	Sink telemetry.Sink
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8080"
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = 65536
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 90 * time.Second
+	}
+	if c.WindowWidth <= 0 {
+		c.WindowWidth = time.Minute
+	}
+}
+
+// Server is the streaming ingest daemon. Create with New, start with Run.
+type Server struct {
+	cfg     Config
+	src     Source
+	sharded *pipeline.Sharded
+	rollup  *telemetry.Rollup
+	lis     net.Listener
+	httpSrv *http.Server
+
+	startWall  time.Time
+	packets    atomic.Uint64
+	bytes      atomic.Uint64
+	classified atomic.Uint64
+	unknown    atomic.Uint64
+	finalized  atomic.Uint64 // records that reached the rollup
+
+	evictions  chan *pipeline.FlowRecord
+	replayDone chan struct{}
+	aggDone    chan struct{}
+
+	lastTS atomic.Int64 // latest packet timestamp (trace clock), unix nanos
+
+	provMu     sync.Mutex // guards byProvider only (see aggregate)
+	byProvider map[string]uint64
+
+	mu         sync.RWMutex
+	replayErr  error
+	closed     bool
+	finalFlows []*pipeline.FlowRecord
+}
+
+// New builds a Server over a trained bank and a replay source and binds the
+// operations listener, so Addr() is valid before Run is called.
+func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:        cfg,
+		src:        src,
+		rollup:     telemetry.NewRollup(cfg.WindowWidth, cfg.Sink),
+		evictions:  make(chan *pipeline.FlowRecord, 1024),
+		replayDone: make(chan struct{}),
+		aggDone:    make(chan struct{}),
+		byProvider: map[string]uint64{},
+	}
+
+	pcfg := pipeline.Config{OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
+		s.evictions <- rec
+	}}
+	if cfg.MaxFlows > 0 {
+		perShard := cfg.MaxFlows / cfg.Shards
+		if perShard < 1 {
+			perShard = 1
+		}
+		pcfg.MaxFlows = perShard
+	}
+	if cfg.IdleTimeout > 0 {
+		pcfg.IdleTimeout = cfg.IdleTimeout
+	}
+	s.sharded = pipeline.NewShardedWithConfig(bank, cfg.Shards, pcfg)
+
+	lis, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.sharded.Close()
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s.lis = lis
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /flows", s.handleFlows)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.httpSrv = &http.Server{Handler: mux}
+	return s, nil
+}
+
+// Addr returns the bound operations API address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// ReplayDone is closed when the source is exhausted (or errored), letting a
+// caller shut down once a finite replay completes.
+func (s *Server) ReplayDone() <-chan struct{} { return s.replayDone }
+
+// Run serves until ctx is cancelled, then shuts down gracefully: the replay
+// stops, the shards drain, residual flows are rolled up, the final partial
+// window is flushed to the sink, and the HTTP server closes. Run returns
+// nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	s.startWall = time.Now()
+
+	go s.aggregate()
+	replayCtx, cancelReplay := context.WithCancel(ctx)
+	defer cancelReplay()
+	go s.replay(replayCtx)
+
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- s.httpSrv.Serve(s.lis) }()
+
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		cancelReplay()
+		<-s.replayDone
+		s.finishPipeline()
+		return fmt.Errorf("server: http: %w", err)
+	}
+
+	cancelReplay()
+	<-s.replayDone
+	s.finishPipeline()
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("server: http: %w", err)
+	}
+	return nil
+}
+
+// finishPipeline drains the shards and rolls up whatever flow state
+// remains, so a finite replay's telemetry is complete at exit.
+func (s *Server) finishPipeline() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+
+	s.sharded.Close()  // drains queued packets; evictions may still fire
+	close(s.evictions) // shard workers are done: no more OnEvict calls
+	<-s.aggDone
+
+	if c, ok := s.src.(io.Closer); ok {
+		c.Close() // replay goroutine has exited; release e.g. the capture fd
+	}
+
+	residual := s.sharded.Flows()
+	if residual == nil {
+		residual = []*pipeline.FlowRecord{} // non-nil: /flows treats nil as "draining"
+	}
+	for _, rec := range residual {
+		s.rollup.Add(rec)
+		s.finalized.Add(1)
+	}
+	s.rollup.Flush()
+
+	s.mu.Lock()
+	s.finalFlows = residual
+	s.mu.Unlock()
+}
+
+// replay streams the source through the sharded pipeline, pacing to
+// cfg.Rate packets/sec when set.
+func (s *Server) replay(ctx context.Context) {
+	defer close(s.replayDone)
+	var interval time.Duration
+	if s.cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / s.cfg.Rate)
+	}
+	next := time.Now()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		pkt, err := s.src.Next()
+		if err != nil {
+			if err != io.EOF {
+				s.mu.Lock()
+				s.replayErr = err
+				s.mu.Unlock()
+			}
+			return
+		}
+		s.sharded.HandlePacket(pkt.Timestamp, pkt.Data)
+		s.packets.Add(1)
+		s.bytes.Add(uint64(len(pkt.Data)))
+		if ns := pkt.Timestamp.UnixNano(); ns > s.lastTS.Load() {
+			s.lastTS.Store(ns)
+		}
+		if interval > 0 {
+			next = next.Add(interval)
+			if wait := time.Until(next); wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-ctx.Done():
+					return
+				}
+			} else if wait < -time.Second {
+				next = time.Now() // fell behind; don't burst to catch up
+			}
+		}
+	}
+}
+
+// aggregate consumes classification results (live counters) and evicted
+// flows (final telemetry → rollup) until both channels close.
+func (s *Server) aggregate() {
+	defer close(s.aggDone)
+	results := s.sharded.Results()
+	evictions := s.evictions
+	for results != nil || evictions != nil {
+		select {
+		case rec, ok := <-results:
+			if !ok {
+				results = nil
+				continue
+			}
+			if rec.Prediction.Status == pipeline.Unknown {
+				s.unknown.Add(1)
+				continue
+			}
+			s.classified.Add(1)
+			// byProvider has its own mutex: aggregate must never wait on
+			// s.mu, which /flows holds across a shard snapshot — a shard
+			// blocked on a full evictions buffer would deadlock otherwise.
+			s.provMu.Lock()
+			s.byProvider[rec.Provider.String()]++
+			s.provMu.Unlock()
+		case rec, ok := <-evictions:
+			if !ok {
+				evictions = nil
+				continue
+			}
+			s.rollup.Add(rec)
+			s.finalized.Add(1)
+		}
+	}
+}
+
+// Stats is the /stats document.
+type Stats struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+
+	Replay struct {
+		Packets        uint64    `json:"packets"`
+		Bytes          uint64    `json:"bytes"`
+		PacketsPerSec  float64   `json:"packets_per_sec"`
+		LastPacketTime time.Time `json:"last_packet_time"`
+		Done           bool      `json:"done"`
+		Error          string    `json:"error,omitempty"`
+	} `json:"replay"`
+
+	FlowTable      flowtable.Stats `json:"flow_table"`
+	DroppedResults uint64          `json:"dropped_results"`
+
+	ClassifiedFlows uint64            `json:"classified_flows"`
+	UnknownFlows    uint64            `json:"unknown_flows"`
+	FinalizedFlows  uint64            `json:"finalized_flows"`
+	ByProvider      map[string]uint64 `json:"classified_by_provider"`
+
+	Rollup struct {
+		WindowSeconds float64           `json:"window_seconds"`
+		Sealed        int               `json:"sealed_windows"`
+		SinkError     string            `json:"sink_error,omitempty"`
+		Current       *telemetry.Window `json:"current_window,omitempty"`
+	} `json:"rollup"`
+}
+
+// Snapshot assembles the current Stats. Safe from any goroutine.
+func (s *Server) Snapshot() Stats {
+	var st Stats
+	uptime := time.Since(s.startWall).Seconds()
+	st.UptimeSeconds = uptime
+	st.Replay.Packets = s.packets.Load()
+	st.Replay.Bytes = s.bytes.Load()
+	if uptime > 0 {
+		st.Replay.PacketsPerSec = float64(st.Replay.Packets) / uptime
+	}
+	select {
+	case <-s.replayDone:
+		st.Replay.Done = true
+	default:
+	}
+	st.FlowTable = s.sharded.TableStats()
+	st.DroppedResults = s.sharded.Dropped()
+	st.ClassifiedFlows = s.classified.Load()
+	st.UnknownFlows = s.unknown.Load()
+	st.FinalizedFlows = s.finalized.Load()
+	st.Rollup.WindowSeconds = s.rollup.Width().Seconds()
+	st.Rollup.Sealed = s.rollup.Sealed()
+	if err := s.rollup.Err(); err != nil {
+		st.Rollup.SinkError = err.Error()
+	}
+	st.Rollup.Current = s.rollup.Current()
+
+	if ns := s.lastTS.Load(); ns != 0 {
+		st.Replay.LastPacketTime = time.Unix(0, ns).UTC()
+	}
+	s.mu.RLock()
+	if s.replayErr != nil {
+		st.Replay.Error = s.replayErr.Error()
+	}
+	s.mu.RUnlock()
+	s.provMu.Lock()
+	st.ByProvider = make(map[string]uint64, len(s.byProvider))
+	for k, v := range s.byProvider {
+		st.ByProvider[k] = v
+	}
+	s.provMu.Unlock()
+	return st
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.startWall).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Snapshot())
+}
+
+// flowSummary is one /flows row.
+type flowSummary struct {
+	Src        string  `json:"src"`
+	Dst        string  `json:"dst"`
+	Transport  string  `json:"transport"`
+	Provider   string  `json:"provider,omitempty"`
+	SNI        string  `json:"sni,omitempty"`
+	Classified bool    `json:"classified"`
+	Platform   string  `json:"platform,omitempty"`
+	DurationS  float64 `json:"duration_seconds"`
+	BytesDown  int64   `json:"bytes_down"`
+	BytesUp    int64   `json:"bytes_up"`
+	MbpsDown   float64 `json:"mbps_down"`
+}
+
+func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
+	limit := 100
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+
+	// The read lock is held across the live snapshot: finishPipeline flips
+	// closed under the write lock before closing shard channels, so no
+	// snapshot can race Close.
+	s.mu.RLock()
+	var recs []*pipeline.FlowRecord
+	draining := false
+	if s.closed {
+		// finalFlows is nil only while finishPipeline is still draining
+		// the shards; afterwards it is always non-nil (possibly empty).
+		recs, draining = s.finalFlows, s.finalFlows == nil
+	} else {
+		recs = s.sharded.SnapshotFlows()
+	}
+	s.mu.RUnlock()
+	if draining {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+
+	out := struct {
+		Active int           `json:"active_flows"`
+		Flows  []flowSummary `json:"flows"`
+	}{Active: len(recs), Flows: []flowSummary{}}
+	for _, rec := range recs {
+		if len(out.Flows) >= limit {
+			break
+		}
+		fs := flowSummary{
+			Src:        fmt.Sprintf("%s:%d", rec.Key.Src, rec.Key.SrcPort),
+			Dst:        fmt.Sprintf("%s:%d", rec.Key.Dst, rec.Key.DstPort),
+			Transport:  rec.Transport.String(),
+			SNI:        rec.SNI,
+			Classified: rec.Classified,
+			DurationS:  rec.Duration().Seconds(),
+			BytesDown:  rec.BytesDown,
+			BytesUp:    rec.BytesUp,
+			MbpsDown:   rec.MbpsDown(),
+		}
+		if rec.SNI != "" {
+			fs.Provider = rec.Provider.String()
+		}
+		if rec.Classified {
+			fs.Platform = rec.Prediction.Platform
+		}
+		out.Flows = append(out.Flows, fs)
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b []byte
+	metric := func(name, typ, help string, v float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)...)
+	}
+	metric("videoplat_replay_packets_total", "counter", "Frames fed to the pipeline.", float64(st.Replay.Packets))
+	metric("videoplat_replay_bytes_total", "counter", "Frame bytes fed to the pipeline.", float64(st.Replay.Bytes))
+	metric("videoplat_flows_active", "gauge", "Flows currently tracked across shards.", float64(st.FlowTable.Active))
+	metric("videoplat_flows_inserted_total", "counter", "Flows ever inserted into the tables.", float64(st.FlowTable.Inserted))
+	b = append(b, "# HELP videoplat_flows_evicted_total Flows evicted from the tables.\n# TYPE videoplat_flows_evicted_total counter\n"...)
+	b = append(b, fmt.Sprintf("videoplat_flows_evicted_total{reason=\"idle\"} %d\n", st.FlowTable.EvictedIdle)...)
+	b = append(b, fmt.Sprintf("videoplat_flows_evicted_total{reason=\"cap\"} %d\n", st.FlowTable.EvictedCap)...)
+	metric("videoplat_flows_classified_total", "counter", "Flows classified with a platform prediction.", float64(st.ClassifiedFlows))
+	metric("videoplat_flows_unknown_total", "counter", "Flows rejected by the confidence selector.", float64(st.UnknownFlows))
+	metric("videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", float64(st.FinalizedFlows))
+	metric("videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", float64(st.DroppedResults))
+	metric("videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", float64(st.Rollup.Sealed))
+	done := 0.0
+	if st.Replay.Done {
+		done = 1
+	}
+	metric("videoplat_replay_done", "gauge", "1 once the replay source is exhausted.", done)
+	w.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

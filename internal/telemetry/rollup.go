@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"videoplat/internal/pipeline"
+)
+
+// Cell aggregates the flows of one rollup dimension value (a provider or a
+// predicted platform) within one window.
+type Cell struct {
+	Flows           int     `json:"flows"`
+	ClassifiedFlows int     `json:"classified_flows"`
+	WatchSeconds    float64 `json:"watch_seconds"`
+	BytesDown       int64   `json:"bytes_down"`
+	BytesUp         int64   `json:"bytes_up"`
+	// MeanMbpsDown is the mean downstream bandwidth over the cell's watch
+	// time; filled when the window is sealed.
+	MeanMbpsDown float64 `json:"mean_mbps_down"`
+	// PeakMbpsDown is the highest per-flow mean bandwidth seen.
+	PeakMbpsDown float64 `json:"peak_mbps_down"`
+}
+
+func (c *Cell) add(rec *pipeline.FlowRecord) {
+	c.Flows++
+	if rec.Classified && rec.Prediction.Status != pipeline.Unknown {
+		c.ClassifiedFlows++
+	}
+	c.WatchSeconds += rec.Duration().Seconds()
+	c.BytesDown += rec.BytesDown
+	c.BytesUp += rec.BytesUp
+	if m := rec.MbpsDown(); m > c.PeakMbpsDown {
+		c.PeakMbpsDown = m
+	}
+}
+
+func (c *Cell) seal() {
+	if c.WatchSeconds > 0 {
+		c.MeanMbpsDown = float64(c.BytesDown) * 8 / 1e6 / c.WatchSeconds
+	}
+}
+
+// Window is one sealed tumbling window of flow aggregates: the unit the
+// rollup engine retires to its sink. Flows are assigned to windows by their
+// LastSeen timestamp (the moment the flow finalized).
+type Window struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+
+	Flows           int `json:"flows"`
+	ClassifiedFlows int `json:"classified_flows"`
+	// LateFlows counts records whose LastSeen predated the window (e.g.
+	// idle evictions surfacing after their window closed); they are folded
+	// into this window rather than reopening a sealed one.
+	LateFlows int `json:"late_flows,omitempty"`
+	// ClassificationRate is ClassifiedFlows/Flows; filled when sealed.
+	ClassificationRate float64 `json:"classification_rate"`
+
+	ByProvider map[string]*Cell `json:"by_provider,omitempty"`
+	ByPlatform map[string]*Cell `json:"by_platform,omitempty"`
+}
+
+func (w *Window) add(rec *pipeline.FlowRecord) {
+	w.Flows++
+	classified := rec.Classified && rec.Prediction.Status != pipeline.Unknown
+	if classified {
+		w.ClassifiedFlows++
+	}
+	prov := rec.Provider.String()
+	if !rec.Classified && rec.SNI == "" {
+		prov = "unmatched" // never got far enough to identify a provider
+	}
+	cell := w.ByProvider[prov]
+	if cell == nil {
+		cell = &Cell{}
+		w.ByProvider[prov] = cell
+	}
+	cell.add(rec)
+
+	platform := "unclassified"
+	if classified && rec.Prediction.Platform != "" {
+		platform = rec.Prediction.Platform
+	}
+	cell = w.ByPlatform[platform]
+	if cell == nil {
+		cell = &Cell{}
+		w.ByPlatform[platform] = cell
+	}
+	cell.add(rec)
+}
+
+func (w *Window) seal() {
+	if w.Flows > 0 {
+		w.ClassificationRate = float64(w.ClassifiedFlows) / float64(w.Flows)
+	}
+	for _, c := range w.ByProvider {
+		c.seal()
+	}
+	for _, c := range w.ByPlatform {
+		c.seal()
+	}
+}
+
+// Sink receives sealed windows. WriteWindow may be called from the
+// goroutine driving Rollup.Add; implementations that share state with other
+// goroutines must synchronize internally.
+type Sink interface {
+	WriteWindow(w *Window) error
+}
+
+// JSONLSink writes one JSON object per sealed window, newline-delimited —
+// the flat-file stand-in for the paper deployment's PostgreSQL rollups.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	n   int
+}
+
+// NewJSONLSink returns a Sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{enc: json.NewEncoder(w)} }
+
+// WriteWindow encodes one window as a JSON line.
+func (s *JSONLSink) WriteWindow(w *Window) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.enc.Encode(w); err != nil {
+		return fmt.Errorf("telemetry: jsonl sink: %w", err)
+	}
+	s.n++
+	return nil
+}
+
+// Windows reports how many windows have been written.
+func (s *JSONLSink) Windows() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Rollup maintains tumbling time windows of per-provider and per-platform
+// aggregates over finalized flow records, sealing and retiring each window
+// to the sink as flow time crosses the window boundary. Windows are aligned
+// to multiples of the width. Time is record-supplied (LastSeen), so replay
+// and live operation roll up identically.
+//
+// Rollup is safe for concurrent use.
+type Rollup struct {
+	mu      sync.Mutex
+	width   time.Duration
+	sink    Sink
+	cur     *Window
+	sealed  int
+	sinkErr error
+}
+
+// NewRollup returns a Rollup with the given window width (default 1 minute
+// if non-positive) retiring sealed windows to sink (which may be nil to
+// discard).
+func NewRollup(width time.Duration, sink Sink) *Rollup {
+	if width <= 0 {
+		width = time.Minute
+	}
+	return &Rollup{width: width, sink: sink}
+}
+
+// Width returns the tumbling window width.
+func (r *Rollup) Width() time.Duration { return r.width }
+
+// Add folds one finalized flow record into the rollup, sealing the current
+// window first if rec.LastSeen has moved past its end. Records older than
+// the current window are folded in as late flows.
+func (r *Rollup) Add(rec *pipeline.FlowRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ts := rec.LastSeen
+	if r.cur == nil {
+		r.open(ts)
+	}
+	if !ts.Before(r.cur.End) {
+		r.seal()
+		r.open(ts) // skip empty gap windows rather than sealing them
+	}
+	if ts.Before(r.cur.Start) {
+		r.cur.LateFlows++
+	}
+	r.cur.add(rec)
+}
+
+// Flush seals and retires the current window, if any. Call at shutdown so
+// the trailing partial window reaches the sink.
+func (r *Rollup) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur != nil && r.cur.Flows > 0 {
+		r.seal()
+	}
+	r.cur = nil
+}
+
+// Sealed reports how many windows have been sealed and offered to the sink.
+func (r *Rollup) Sealed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sealed
+}
+
+// Err returns the first sink write error, if any.
+func (r *Rollup) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErr
+}
+
+// Current returns a deep snapshot of the in-progress window, or nil if no
+// record has arrived yet — the live view the /stats endpoint serves.
+func (r *Rollup) Current() *Window {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.cur == nil {
+		return nil
+	}
+	snap := *r.cur
+	snap.ByProvider = cloneCells(r.cur.ByProvider)
+	snap.ByPlatform = cloneCells(r.cur.ByPlatform)
+	snap.seal()
+	return &snap
+}
+
+func cloneCells(m map[string]*Cell) map[string]*Cell {
+	out := make(map[string]*Cell, len(m))
+	for k, c := range m {
+		cc := *c
+		out[k] = &cc
+	}
+	return out
+}
+
+func (r *Rollup) open(ts time.Time) {
+	start := ts.Truncate(r.width)
+	if ts.Before(start) { // Truncate rounds toward zero; guard pre-epoch times
+		start = start.Add(-r.width)
+	}
+	r.cur = &Window{
+		Start:      start,
+		End:        start.Add(r.width),
+		ByProvider: map[string]*Cell{},
+		ByPlatform: map[string]*Cell{},
+	}
+}
+
+// seal finalizes cur and hands it to the sink; callers must hold mu and
+// replace cur afterwards.
+func (r *Rollup) seal() {
+	r.cur.seal()
+	r.sealed++
+	if r.sink != nil {
+		if err := r.sink.WriteWindow(r.cur); err != nil && r.sinkErr == nil {
+			r.sinkErr = err
+		}
+	}
+}

@@ -19,15 +19,37 @@
 //   - NewAggregator summarizes classified flows into the watch-time,
 //     bandwidth and temporal-usage statistics of the paper's §5.
 //
-// See examples/quickstart for an end-to-end walkthrough and
-// cmd/vpexperiments for the harness that regenerates every table and figure
-// in the paper.
+// Beyond the batch workflow, the package exposes the building blocks of the
+// paper's continuous deployment (the always-on tap of §4.3.3):
+//
+//   - NewBoundedPipeline bounds the pipeline's flow table (LRU + idle
+//     eviction with eviction counters) so per-flow state stays flat under
+//     sustained traffic, delivering evicted flows' final telemetry to a
+//     callback instead of dropping it;
+//   - NewRollup / NewJSONLSink maintain tumbling time windows of
+//     per-provider and per-platform watch-time, bandwidth and
+//     classification-rate aggregates, retiring sealed windows to a
+//     pluggable sink;
+//   - NewServer assembles both into a streaming ingest daemon that replays
+//     capture files or synthetic traffic through the sharded pipeline at a
+//     configurable packet rate and serves live operations endpoints
+//     (/stats, /flows, /healthz, /metrics) with graceful shutdown.
+//
+// See examples/quickstart for an end-to-end batch walkthrough,
+// examples/serve-replay for the streaming daemon, cmd/vpserve for the
+// daemon binary, and cmd/vpexperiments for the harness that regenerates
+// every table and figure in the paper.
 package videoplat
 
 import (
+	"io"
+	"time"
+
 	"videoplat/internal/fingerprint"
+	"videoplat/internal/flowtable"
 	"videoplat/internal/ml"
 	"videoplat/internal/pipeline"
+	"videoplat/internal/server"
 	"videoplat/internal/telemetry"
 	"videoplat/internal/tracegen"
 )
@@ -58,6 +80,23 @@ type (
 	BoxStats = telemetry.BoxStats
 	// ForestConfig holds the random-forest hyperparameters.
 	ForestConfig = ml.ForestConfig
+
+	// PipelineConfig bounds a pipeline's flow table for long-running use.
+	PipelineConfig = pipeline.Config
+	// FlowTableStats are a bounded flow table's occupancy/eviction counters.
+	FlowTableStats = flowtable.Stats
+	// Rollup maintains tumbling telemetry windows over finalized flows.
+	Rollup = telemetry.Rollup
+	// RollupWindow is one sealed tumbling window of flow aggregates.
+	RollupWindow = telemetry.Window
+	// RollupSink receives sealed rollup windows.
+	RollupSink = telemetry.Sink
+	// Server is the streaming ingest daemon with the operations HTTP API.
+	Server = server.Server
+	// ServeConfig tunes the streaming ingest daemon.
+	ServeConfig = server.Config
+	// ReplaySource streams timestamped frames into the daemon.
+	ReplaySource = server.Source
 )
 
 // Providers.
@@ -112,3 +151,35 @@ func NewPipeline(bank *Bank) *Pipeline { return pipeline.New(bank) }
 // NewAggregator returns a telemetry aggregator normalizing watch time over
 // the given number of days.
 func NewAggregator(days float64) *Aggregator { return &Aggregator{Days: days} }
+
+// NewBoundedPipeline returns a streaming packet processor whose flow table
+// is bounded by cfg (max flows, idle timeout, eviction callback) — the
+// configuration for long-running deployments where flow state must not grow
+// with traffic.
+func NewBoundedPipeline(bank *Bank, cfg PipelineConfig) *Pipeline {
+	return pipeline.NewWithConfig(bank, cfg)
+}
+
+// NewRollup returns a windowed rollup engine retiring sealed windows of the
+// given width to sink (nil discards).
+func NewRollup(width time.Duration, sink RollupSink) *Rollup {
+	return telemetry.NewRollup(width, sink)
+}
+
+// NewJSONLSink returns a rollup sink writing one JSON object per sealed
+// window to w.
+func NewJSONLSink(w io.Writer) RollupSink { return telemetry.NewJSONLSink(w) }
+
+// NewServer assembles the streaming ingest daemon: src replayed through a
+// sharded, flow-table-bounded pipeline, with windowed rollups and the
+// /stats, /flows, /healthz and /metrics operations API. Start it with Run.
+func NewServer(bank *Bank, src ReplaySource, cfg ServeConfig) (*Server, error) {
+	return server.New(bank, src, cfg)
+}
+
+// OpenReplaySource opens a pcap or pcapng capture file as a ReplaySource.
+func OpenReplaySource(path string) (ReplaySource, error) { return server.OpenFileSource(path) }
+
+// NewSynthSource returns a ReplaySource generating n synthetic video
+// sessions (n <= 0: unlimited) — a built-in load generator for the daemon.
+func NewSynthSource(seed uint64, n int) ReplaySource { return server.NewSynthSource(seed, n) }
