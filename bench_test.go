@@ -494,3 +494,81 @@ func BenchmarkShardedPacketRate(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSwapUnderLoad measures classification throughput while the bank
+// is being hot-swapped continuously, against the steady-state baseline —
+// quantifying the cost of the registry's zero-downtime swap path (an atomic
+// pointer load per packet; a swap storm should not dent packet rate).
+func BenchmarkSwapUnderLoad(b *testing.B) {
+	bankA := trainedBank(b)
+	dsB, err := videoplat.GenerateLabDataset(2, 0.04)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bankB, err := videoplat.Train(dsB, videoplat.ForestConfig{NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	g := tracegen.New(653)
+	var frames []tracegen.Frame
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	labels := fingerprint.AllPlatformLabels()
+	for i := 0; i < 50; i++ {
+		label := labels[i%len(labels)]
+		prov := fingerprint.AllProviders()[i%4]
+		if !fingerprint.SupportMatrix(label, prov) {
+			prov = fingerprint.YouTube
+		}
+		if !fingerprint.SupportMatrix(label, prov) {
+			continue
+		}
+		tr := fingerprint.TCP
+		if !fingerprint.SupportsTCP(label, prov) {
+			tr = fingerprint.QUIC
+		}
+		ft, err := g.Flow(label, prov, tr, tracegen.FlowSpec{Start: start, PayloadFrames: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames = append(frames, ft.Frames...)
+	}
+
+	run := func(b *testing.B, swapping bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := pipeline.NewSharded(bankA, 4)
+			go func() {
+				for range s.Results() {
+				}
+			}()
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			if swapping {
+				go func() {
+					defer close(done)
+					banks := [2]*videoplat.Bank{bankA, bankB}
+					for j := 0; ; j++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						s.SwapBank(banks[j%2])
+					}
+				}()
+			} else {
+				close(done)
+			}
+			for _, fr := range frames {
+				s.HandlePacket(start, fr.Data)
+			}
+			close(stop)
+			<-done
+			s.Close()
+		}
+		b.ReportMetric(float64(b.N*len(frames))/b.Elapsed().Seconds(), "pkts/s")
+	}
+	b.Run("steady", func(b *testing.B) { run(b, false) })
+	b.Run("swap-storm", func(b *testing.B) { run(b, true) })
+}

@@ -6,11 +6,21 @@
 // runs. SIGINT/SIGTERM trigger a graceful shutdown that drains the shards
 // and flushes the final partial window.
 //
+// With -registry-dir the daemon keeps its banks in a versioned model
+// registry: /models lists the version history, /models/promote and
+// /models/rollback hot-swap the serving bank without dropping a packet,
+// and /models/export captures the active bank as a vptrain-style gob.
+// -auto-retrain closes the paper's §5.3 loop: a drift monitor watches
+// every classification, a flagged classifier triggers a background
+// retrain, and the candidate is promoted only after shadow evaluation on
+// live traffic clears the gate.
+//
 // Usage:
 //
 //	vpserve -model bank.gob -pcap capture.pcap -rate 5000 -rollup windows.jsonl
 //	vpserve -synth 500 -addr :8080            # self-train a demo bank, synthetic load
 //	vpserve -pcap capture.pcap -exit-when-done
+//	vpserve -registry-dir ./models -auto-retrain -synth 400 -synth-drift-after 150
 package main
 
 import (
@@ -22,9 +32,11 @@ import (
 	"syscall"
 	"time"
 
+	"videoplat/internal/drift"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/ml"
 	"videoplat/internal/pipeline"
+	"videoplat/internal/registry"
 	"videoplat/internal/server"
 	"videoplat/internal/telemetry"
 	"videoplat/internal/tracegen"
@@ -43,12 +55,75 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
 		window       = flag.Duration("window", time.Minute, "rollup window width")
 		rollupOut    = flag.String("rollup", "", "JSONL file receiving sealed rollup windows (default: discard)")
-		trainScale   = flag.Float64("train-scale", 0.04, "lab-dataset scale for the self-trained bank")
+		trainScale   = flag.Float64("train-scale", 0.04, "lab-dataset scale for self-trained and retrained banks")
 		exitWhenDone = flag.Bool("exit-when-done", false, "shut down once the replay source is exhausted")
+
+		registryDir = flag.String("registry-dir", "", "versioned model registry directory (enables /models, promote/rollback hot-swap)")
+		autoRetrain = flag.Bool("auto-retrain", false, "retrain and shadow-promote a new bank when drift is detected (requires -registry-dir)")
+		driftWindow = flag.Int("drift-window", 0, "recent predictions per classifier for drift detection (0 = monitor default 500; size to your traffic)")
+		driftDrop   = flag.Float64("drift-drop", 0, "median-confidence drop that flags a classifier (0 = monitor default 0.10)")
+		cooldown    = flag.Duration("retrain-cooldown", time.Minute, "minimum gap between retrain attempts")
+		shadowRate  = flag.Float64("shadow-sample", 0.25, "fraction of live classifications shadow-evaluated by a candidate bank")
+		shadowFlows = flag.Int("shadow-flows", 200, "shadow classifications required before a promote/reject verdict")
+		shadowAgree = flag.Float64("shadow-agreement", 0.5, "minimum candidate/active agreement on flows both predict confidently (0 = gate default 0.5, negative disables)")
+		saveOnExit  = flag.String("save-on-exit", "", "write the bank active at shutdown to this file (captures retrained banks)")
+		driftAfter  = flag.Int("synth-drift-after", 0, "inject open-set platform drift after N synthetic sessions (0 = never)")
 	)
 	flag.Parse()
 
 	bank := loadOrTrainBank(*model, *seed, *trainScale)
+
+	// Model lifecycle: registry, drift monitor, retrainer.
+	var (
+		reg *registry.Registry
+		mon *drift.Monitor
+		rt  *registry.Retrainer
+	)
+	if *registryDir != "" {
+		var err error
+		reg, err = registry.New(registry.Config{Dir: *registryDir})
+		exitOn(err)
+		if cur := reg.Current(); cur != nil && *model == "" {
+			// A previous run left an active version; prefer it over
+			// self-training from scratch.
+			bank = cur.Bank
+			fmt.Fprintf(os.Stderr, "vpserve: serving registry version %s from %s\n",
+				cur.Manifest.ID, *registryDir)
+		} else {
+			reason := "initial (self-trained)"
+			if *model != "" {
+				reason = fmt.Sprintf("operator import: %s", *model)
+			}
+			m, err := reg.Add(bank, reason, *seed)
+			exitOn(err)
+			v, err := reg.Promote(m.ID)
+			exitOn(err)
+			bank = v.Bank // serve the registry's copy, not the Add argument
+			fmt.Fprintf(os.Stderr, "vpserve: registered bank as %s in %s\n", m.ID, *registryDir)
+		}
+		mon = drift.NewMonitor(drift.Config{
+			Window:         *driftWindow,
+			ConfidenceDrop: *driftDrop,
+		})
+	}
+	if *autoRetrain {
+		if reg == nil {
+			exitOn(fmt.Errorf("-auto-retrain requires -registry-dir"))
+		}
+		var err error
+		rt, err = registry.NewRetrainer(reg, registry.RetrainerConfig{
+			Train:    retrainFunc(*trainScale, *driftAfter > 0),
+			Seed:     *seed + 1000,
+			Cooldown: *cooldown,
+			Gate: registry.Gate{
+				SampleRate:   *shadowRate,
+				MinFlows:     *shadowFlows,
+				MinAgreement: *shadowAgree,
+			},
+		})
+		exitOn(err)
+		rt.BindMonitor(mon)
+	}
 
 	var src server.Source
 	switch {
@@ -58,8 +133,9 @@ func main() {
 		exitOn(err)
 		fmt.Fprintf(os.Stderr, "vpserve: replaying %s\n", *pcapPath)
 	default:
-		src = server.NewSynthSource(*seed, *synth)
-		fmt.Fprintf(os.Stderr, "vpserve: generating synthetic traffic (%v sessions)\n", sessionsDesc(*synth))
+		src = server.NewDriftingSynthSource(*seed, *synth, *driftAfter)
+		fmt.Fprintf(os.Stderr, "vpserve: generating synthetic traffic (%v sessions%s)\n",
+			sessionsDesc(*synth), driftDesc(*driftAfter))
 	}
 
 	var sink telemetry.Sink
@@ -78,9 +154,12 @@ func main() {
 		WindowWidth: *window,
 		Rate:        *rate,
 		Sink:        sink,
+		Registry:    reg,
+		Drift:       mon,
+		Retrainer:   rt,
 	})
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /healthz /metrics)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /models /healthz /metrics)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -103,18 +182,65 @@ func main() {
 
 	st := srv.Snapshot()
 	fmt.Fprintf(os.Stderr,
-		"vpserve: done — %d packets, %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows\n",
+		"vpserve: done — %d packets, %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows, model %s (%d swaps)\n",
 		st.Replay.Packets, st.FlowTable.Inserted,
 		st.FlowTable.EvictedIdle, st.FlowTable.EvictedCap,
-		st.ClassifiedFlows, st.Rollup.Sealed)
+		st.ClassifiedFlows, st.Rollup.Sealed,
+		st.Models.ActiveVersion, st.Models.Swaps)
+
+	if *saveOnExit != "" {
+		active := bank
+		if reg != nil {
+			if cur := reg.Current(); cur != nil {
+				active = cur.Bank
+			}
+		}
+		blob, err := active.MarshalBinary()
+		exitOn(err)
+		exitOn(os.WriteFile(*saveOnExit, blob, 0o644))
+		fmt.Fprintf(os.Stderr, "vpserve: saved active bank (%s, %d bytes) to %s\n",
+			st.Models.ActiveVersion, len(blob), *saveOnExit)
+	}
+}
+
+// retrainFunc regenerates "fresh ground truth" for a replacement bank. The
+// synthetic stand-in for the paper's recollect-and-retrain: a lab dataset
+// at the configured scale, plus — when the deployment's fleet is known to
+// have updated (withDrift) — the open-set perturbed profiles, so the
+// candidate covers both current and drifted handshakes.
+func retrainFunc(scale float64, withDrift bool) registry.TrainFunc {
+	return func(reason string, seed uint64) (*pipeline.Bank, error) {
+		ds, err := tracegen.New(seed).LabDataset(scale, fingerprint.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if withDrift {
+			drifted, err := tracegen.New(seed^0xd81f7).LabDataset(scale, fingerprint.Options{OpenSet: true})
+			if err != nil {
+				return nil, err
+			}
+			ds.Flows = append(ds.Flows, drifted.Flows...)
+		}
+		return pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: ml.ForestConfig{
+			NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: seed}})
+	}
 }
 
 func loadOrTrainBank(path string, seed uint64, scale float64) *pipeline.Bank {
 	if path != "" {
 		blob, err := os.ReadFile(path)
-		exitOn(err)
+		if err != nil {
+			exitOn(fmt.Errorf("loading -model: %w", err))
+		}
 		var bank pipeline.Bank
-		exitOn(bank.UnmarshalBinary(blob))
+		if err := bank.UnmarshalBinary(blob); err != nil {
+			// Name the file: the gob error alone ("unexpected EOF", format
+			// mismatch) doesn't say which of several banks was bad.
+			exitOn(fmt.Errorf("loading -model %s: %w", path, err))
+		}
+		if bank.Version != "" {
+			fmt.Fprintf(os.Stderr, "vpserve: loaded %s (version %s)\n", path, bank.Version)
+		}
 		return &bank
 	}
 	fmt.Fprintf(os.Stderr, "vpserve: no -model given, self-training a demo bank (scale %.2f)...\n", scale)
@@ -131,6 +257,13 @@ func sessionsDesc(n int) string {
 		return "unlimited"
 	}
 	return fmt.Sprint(n)
+}
+
+func driftDesc(after int) string {
+	if after <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(", open-set drift after %d", after)
 }
 
 func exitOn(err error) {

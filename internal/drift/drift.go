@@ -7,7 +7,10 @@
 // confidence and unknown-rates. A classifier is flagged when its recent
 // median confidence falls a configurable margin below its baseline, or when
 // the share of rejected (unknown) flows exceeds a threshold — both symptoms
-// the paper associates with drifting traffic.
+// the paper associates with drifting traffic. Verdicts are pollable
+// (Statuses, NeedsRetraining) and pushed (Subscribe); after a bank
+// hot-swap, Rebaseline starts fresh reference windows so the replacement
+// model is never judged against its predecessor's distribution.
 package drift
 
 import (
@@ -65,6 +68,8 @@ type series struct {
 	unknownIdx   int
 	unknownFull  bool
 	observations int
+	notified     bool   // a drifting verdict was already delivered to subscribers
+	version      string // ModelVersion of the bank whose predictions fill the windows
 }
 
 // Status is the monitor's verdict for one classifier.
@@ -81,12 +86,19 @@ type Status struct {
 	Reason   string
 }
 
+// evalPeriod is how many observations pass between subscriber-facing drift
+// evaluations of a series. Computing medians costs a sort over the window,
+// so Observe amortizes it instead of re-evaluating per flow; subscribers
+// learn of a drifting classifier at most evalPeriod observations late.
+const evalPeriod = 25
+
 // Monitor accumulates prediction outcomes. Safe for concurrent use.
 type Monitor struct {
 	cfg Config
 
 	mu     sync.Mutex
 	series map[key]*series
+	subs   []func(Status)
 }
 
 // NewMonitor returns a Monitor with the given configuration.
@@ -95,19 +107,63 @@ func NewMonitor(cfg Config) *Monitor {
 	return &Monitor{cfg: cfg, series: map[key]*series{}}
 }
 
+// Subscribe registers fn to be called when a classifier transitions to
+// drifting — the push counterpart of polling NeedsRetraining, used by
+// registry.Retrainer to kick off retraining the moment decay is detected.
+// Each classifier fires at most once until Rebaseline resets it. Callbacks
+// run synchronously from the Observe caller's goroutine (without the
+// monitor's lock held) and must be quick or hand off to their own
+// goroutine.
+func (m *Monitor) Subscribe(fn func(Status)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, fn)
+}
+
+// Rebaseline drops every classifier's reference and recent windows. Call
+// after a bank hot-swap: the new bank must build its own baseline from its
+// own predictions rather than being judged against the distribution of the
+// model it replaced. Also re-arms Subscribe notifications. (With versioned
+// banks each series additionally resets itself whenever the observed
+// ModelVersion changes, so old-bank stragglers around a swap cannot
+// contaminate the new baseline even before Rebaseline runs.)
+func (m *Monitor) Rebaseline() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.series = map[key]*series{}
+}
+
+// Rearm clears the once-per-drift notification latch without touching the
+// windows, so a still-drifting classifier notifies subscribers again — used
+// after a rejected retrain candidate, where the drift is real but the first
+// remedy failed and another attempt should be triggered.
+func (m *Monitor) Rearm() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.series {
+		s.notified = false
+	}
+}
+
 // Observe records one classified flow.
 func (m *Monitor) Observe(rec *pipeline.FlowRecord) {
 	if !rec.Classified {
 		return
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	k := key{rec.Provider, rec.Transport}
 	s := m.series[k]
+	if s != nil && s.version != rec.ModelVersion {
+		// The serving bank changed under this series (records classified by
+		// a replaced bank can straggle in around a hot-swap): never mix two
+		// models' confidence distributions in one reference window.
+		s = nil
+	}
 	if s == nil {
 		s = &series{
 			recent:      make([]float64, m.cfg.Window),
 			unknownRing: make([]bool, m.cfg.Window),
+			version:     rec.ModelVersion,
 		}
 		m.series[k] = s
 	}
@@ -128,6 +184,22 @@ func (m *Monitor) Observe(rec *pipeline.FlowRecord) {
 	if s.unknownIdx == 0 {
 		s.unknownFull = true
 	}
+
+	// Amortized drift check for subscribers.
+	var fire []func(Status)
+	var st Status
+	if len(m.subs) > 0 && !s.notified &&
+		s.observations >= m.cfg.Baseline && s.observations%evalPeriod == 0 {
+		st = m.statusLocked(k, s)
+		if st.Drifting {
+			s.notified = true
+			fire = append(fire, m.subs...)
+		}
+	}
+	m.mu.Unlock()
+	for _, fn := range fire {
+		fn(st)
+	}
 }
 
 // Statuses reports per-classifier drift verdicts, sorted by provider then
@@ -137,25 +209,7 @@ func (m *Monitor) Statuses() []Status {
 	defer m.mu.Unlock()
 	var out []Status
 	for k, s := range m.series {
-		st := Status{Provider: k.Provider, Transport: k.Transport, Observations: s.observations}
-		st.BaselineMedian = median(s.baseline)
-		st.RecentMedian = median(s.recentWindow())
-		st.UnknownRate = s.unknownRate()
-		switch {
-		case s.observations < m.cfg.Baseline:
-			st.Reason = "warming up"
-		case st.RecentMedian < st.BaselineMedian-m.cfg.ConfidenceDrop:
-			st.Drifting = true
-			st.Reason = fmt.Sprintf("median confidence dropped %.0f%% -> %.0f%%",
-				st.BaselineMedian*100, st.RecentMedian*100)
-		case st.UnknownRate > m.cfg.MaxUnknownRate:
-			st.Drifting = true
-			st.Reason = fmt.Sprintf("unknown rate %.0f%% exceeds %.0f%%",
-				st.UnknownRate*100, m.cfg.MaxUnknownRate*100)
-		default:
-			st.Reason = "healthy"
-		}
-		out = append(out, st)
+		out = append(out, m.statusLocked(k, s))
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Provider != out[j].Provider {
@@ -175,6 +229,29 @@ func (m *Monitor) NeedsRetraining() []Status {
 		}
 	}
 	return out
+}
+
+// statusLocked computes one classifier's verdict; callers must hold mu.
+func (m *Monitor) statusLocked(k key, s *series) Status {
+	st := Status{Provider: k.Provider, Transport: k.Transport, Observations: s.observations}
+	st.BaselineMedian = median(s.baseline)
+	st.RecentMedian = median(s.recentWindow())
+	st.UnknownRate = s.unknownRate()
+	switch {
+	case s.observations < m.cfg.Baseline:
+		st.Reason = "warming up"
+	case st.RecentMedian < st.BaselineMedian-m.cfg.ConfidenceDrop:
+		st.Drifting = true
+		st.Reason = fmt.Sprintf("median confidence dropped %.0f%% -> %.0f%%",
+			st.BaselineMedian*100, st.RecentMedian*100)
+	case st.UnknownRate > m.cfg.MaxUnknownRate:
+		st.Drifting = true
+		st.Reason = fmt.Sprintf("unknown rate %.0f%% exceeds %.0f%%",
+			st.UnknownRate*100, m.cfg.MaxUnknownRate*100)
+	default:
+		st.Reason = "healthy"
+	}
+	return st
 }
 
 func (s *series) recentWindow() []float64 {

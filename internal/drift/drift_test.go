@@ -91,6 +91,71 @@ func TestUnclassifiedIgnored(t *testing.T) {
 	}
 }
 
+func TestSubscribeFiresOnceOnDriftTransition(t *testing.T) {
+	m := NewMonitor(Config{Window: 50, Baseline: 50, ConfidenceDrop: 0.1})
+	var fired []Status
+	m.Subscribe(func(st Status) { fired = append(fired, st) })
+
+	for i := 0; i < 50; i++ {
+		m.Observe(obs(fingerprint.YouTube, 0.95, pipeline.Composite))
+	}
+	if len(fired) != 0 {
+		t.Fatalf("subscriber fired during healthy baseline: %+v", fired)
+	}
+	// Decay well past the eval period: exactly one notification.
+	for i := 0; i < 200; i++ {
+		m.Observe(obs(fingerprint.YouTube, 0.60, pipeline.Composite))
+	}
+	if len(fired) != 1 {
+		t.Fatalf("subscriber fired %d times, want 1", len(fired))
+	}
+	if !fired[0].Drifting || fired[0].Provider != fingerprint.YouTube {
+		t.Errorf("notification = %+v", fired[0])
+	}
+}
+
+func TestRebaselineResetsReferenceAndRearmsSubscribers(t *testing.T) {
+	m := NewMonitor(Config{Window: 50, Baseline: 50, ConfidenceDrop: 0.1})
+	fired := 0
+	m.Subscribe(func(Status) { fired++ })
+
+	for i := 0; i < 50; i++ {
+		m.Observe(obs(fingerprint.Netflix, 0.95, pipeline.Composite))
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(obs(fingerprint.Netflix, 0.60, pipeline.Composite))
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d before rebaseline, want 1", fired)
+	}
+
+	// The bank was swapped: the new model's steady 0.60 confidence is its
+	// own baseline, not a drop from the old model's 0.95.
+	m.Rebaseline()
+	if len(m.Statuses()) != 0 {
+		t.Fatal("rebaseline kept old series")
+	}
+	for i := 0; i < 200; i++ {
+		m.Observe(obs(fingerprint.Netflix, 0.60, pipeline.Composite))
+	}
+	for _, st := range m.Statuses() {
+		if st.Drifting {
+			t.Errorf("new model judged against old baseline: %+v", st)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after rebaseline on steady traffic, want still 1", fired)
+	}
+
+	// But a genuine new drop after the swap is detected and re-notified.
+	for i := 0; i < 200; i++ {
+		m.Observe(obs(fingerprint.Netflix, 0.30, pipeline.Composite))
+	}
+	if fired != 2 {
+		t.Fatalf("fired = %d after post-swap drift, want 2", fired)
+	}
+}
+
 func TestEndToEndWithOpenSetDrift(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a bank")

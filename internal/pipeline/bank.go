@@ -61,6 +61,11 @@ type bankKey struct {
 type Bank struct {
 	models map[bankKey]*Model
 	Config ml.ForestConfig
+	// Version is the registry identity of this bank (e.g. "v0003"), stamped
+	// by internal/registry when the bank is stored and carried through
+	// serialization, so classifications and exports stay attributable.
+	// Empty for ad-hoc banks that never went through a registry.
+	Version string
 }
 
 // TrainConfig controls bank training.

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"sync/atomic"
 	"time"
 
 	"videoplat/internal/features"
@@ -21,6 +22,10 @@ type FlowRecord struct {
 
 	Prediction Prediction
 	Classified bool
+	// ModelVersion is the registry version of the bank that classified the
+	// flow (empty for unversioned banks), so downstream telemetry remains
+	// attributable to the exact model that produced it across hot-swaps.
+	ModelVersion string
 
 	FirstSeen, LastSeen    time.Time
 	BytesDown, BytesUp     int64
@@ -61,14 +66,23 @@ type Config struct {
 	// telemetry can reach a sink instead of vanishing. Called synchronously
 	// from HandlePacket (for Sharded, from the owning shard's goroutine).
 	OnEvict func(rec *FlowRecord, reason flowtable.Reason)
+	// OnClassify, if non-nil, is invoked once per classification attempt
+	// with a copy of the flow record (after the confidence selector ran)
+	// and the extracted handshake features, letting a shadow evaluator
+	// re-classify the same flow with a candidate bank. Called synchronously
+	// from HandlePacket; for Sharded it runs on shard goroutines and must
+	// be safe for concurrent use.
+	OnClassify func(rec *FlowRecord, v *features.FieldValues)
 }
 
 // Pipeline is the streaming packet processor of Fig 4. Feed packets with
 // HandlePacket; classified flows are returned as events and accumulated for
-// Flows(). Not safe for concurrent use; shard by flow hash across instances
-// for multi-core deployments, as the DPDK prototype does.
+// Flows(). Not safe for concurrent use — shard by flow hash across instances
+// for multi-core deployments, as the DPDK prototype does — with one
+// exception: SwapBank may be called from any goroutine to hot-swap the
+// classifier bank without pausing packet processing.
 type Pipeline struct {
-	Bank *Bank
+	bank atomic.Pointer[Bank]
 
 	cfg       Config
 	flows     *flowtable.Table[*flowState]
@@ -86,7 +100,8 @@ func New(bank *Bank) *Pipeline { return NewWithConfig(bank, Config{}) }
 
 // NewWithConfig returns a Pipeline whose flow table is bounded by cfg.
 func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
-	p := &Pipeline{Bank: bank, cfg: cfg}
+	p := &Pipeline{cfg: cfg}
+	p.bank.Store(bank)
 	p.flows = flowtable.New[*flowState](
 		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
 		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
@@ -101,6 +116,17 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 // TableStats reports the flow table's occupancy and eviction counters.
 // Safe to call from any goroutine while the pipeline is running.
 func (p *Pipeline) TableStats() flowtable.Stats { return p.flows.Stats() }
+
+// Bank returns the classifier bank currently serving classifications. Safe
+// from any goroutine.
+func (p *Pipeline) Bank() *Bank { return p.bank.Load() }
+
+// SwapBank atomically replaces the classifier bank. Classification never
+// blocks on a swap: HandlePacket loads the bank pointer once per packet, so
+// a flow classifying when the swap lands completes coherently against the
+// bank it started with and the next packet sees the new one. Safe from any
+// goroutine.
+func (p *Pipeline) SwapBank(bank *Bank) { p.bank.Store(bank) }
 
 // HandlePacket processes one frame. It returns a non-nil FlowRecord exactly
 // when the frame completed a flow's classification.
@@ -171,13 +197,15 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 	}
 
 	v := features.Extract(info)
-	pred, err := p.Bank.Classify(prov, st.rec.Transport, v)
+	bank := p.bank.Load() // one load: the whole classification uses one bank
+	pred, err := bank.Classify(prov, st.rec.Transport, v)
 	if err != nil {
 		st.done = true
 		return nil, err
 	}
 	st.rec.Prediction = pred
 	st.rec.Classified = true
+	st.rec.ModelVersion = bank.Version
 	st.done = true
 	st.clientFrames = nil
 	if pred.Status == Unknown {
@@ -186,6 +214,10 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 		p.ClassifiedFlows++
 	}
 	out := st.rec // copy at classification time
+	if p.cfg.OnClassify != nil {
+		hookRec := st.rec
+		p.cfg.OnClassify(&hookRec, v)
+	}
 	return &out, nil
 }
 

@@ -1,6 +1,9 @@
 package pipeline
 
 import (
+	"bytes"
+	"encoding/gob"
+	"strings"
 	"testing"
 	"time"
 
@@ -296,5 +299,36 @@ func TestBankSerializationRoundTrip(t *testing.T) {
 	}
 	if err := restored.UnmarshalBinary([]byte("junk")); err == nil {
 		t.Error("junk accepted")
+	}
+}
+
+func TestBankSerializationVersionAndFormat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bank training is slow")
+	}
+	bank, _ := trainSmallBank(t, 6, 0.02)
+	bank.Version = "v0042"
+	blob, err := bank.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var restored Bank
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Version != "v0042" {
+		t.Errorf("version after round trip = %q", restored.Version)
+	}
+
+	// A blob from a future format must be refused with a clear error, not
+	// half-decoded.
+	var buf bytes.Buffer
+	future := bankDTO{Format: bankFormat + 1}
+	if err := gob.NewEncoder(&buf).Encode(future); err != nil {
+		t.Fatal(err)
+	}
+	err = restored.UnmarshalBinary(buf.Bytes())
+	if err == nil || !strings.Contains(err.Error(), "newer build") {
+		t.Errorf("future format error = %v", err)
 	}
 }

@@ -19,15 +19,22 @@ type modelDTO struct {
 	Classes   []string
 }
 
+// bankFormat is the on-wire format generation of serialized banks. Format 0
+// is the pre-versioning layout (identical fields minus Format/Version), so
+// decoding accepts 0..bankFormat and rejects only formats from the future.
+const bankFormat = 1
+
 type bankDTO struct {
-	Config ml.ForestConfig
-	Models []modelDTO
+	Format  uint32
+	Version string
+	Config  ml.ForestConfig
+	Models  []modelDTO
 }
 
 // MarshalBinary serializes the trained bank with encoding/gob, so a model
 // trained by cmd/vptrain can be deployed by cmd/vpclassify.
 func (b *Bank) MarshalBinary() ([]byte, error) {
-	dto := bankDTO{Config: b.Config}
+	dto := bankDTO{Format: bankFormat, Version: b.Version, Config: b.Config}
 	for key, m := range b.models {
 		encBlob, err := m.Encoder.MarshalBinary()
 		if err != nil {
@@ -59,6 +66,11 @@ func (b *Bank) UnmarshalBinary(data []byte) error {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&dto); err != nil {
 		return fmt.Errorf("pipeline: decoding bank: %w", err)
 	}
+	if dto.Format > bankFormat {
+		return fmt.Errorf("pipeline: bank format v%d was written by a newer build (this build reads up to v%d)",
+			dto.Format, bankFormat)
+	}
+	b.Version = dto.Version
 	b.Config = dto.Config
 	b.models = map[bankKey]*Model{}
 	for _, md := range dto.Models {

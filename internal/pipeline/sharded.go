@@ -89,6 +89,23 @@ func (s *Sharded) deliver(rec *FlowRecord) {
 // comment for the best-effort delivery contract.
 func (s *Sharded) Results() <-chan *FlowRecord { return s.results }
 
+// Bank returns the classifier bank currently serving classifications.
+func (s *Sharded) Bank() *Bank { return s.shards[0].p.Bank() }
+
+// SwapBank hot-swaps the classifier bank on every shard without pausing
+// packet processing: each shard's pipeline loads its bank pointer once per
+// packet, so flows classifying during the swap complete coherently against
+// whichever bank they loaded and later packets see the new one. Shards
+// switch independently (not as one transaction), so during the swap some
+// shards may still classify against the old bank — records carry
+// ModelVersion so every classification stays attributable. Safe from any
+// goroutine, including concurrently with HandlePacket and SnapshotFlows.
+func (s *Sharded) SwapBank(bank *Bank) {
+	for _, sh := range s.shards {
+		sh.p.SwapBank(bank)
+	}
+}
+
 // Dropped reports how many results were discarded because the consumer was
 // not draining Results. Safe from any goroutine.
 func (s *Sharded) Dropped() uint64 { return s.dropped.Load() }

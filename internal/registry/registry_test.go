@@ -1,0 +1,211 @@
+package registry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/ml"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/tracegen"
+)
+
+// trainBank fits a small bank on a lab dataset drawn with seed.
+func trainBank(t testing.TB, seed uint64, cfg ml.ForestConfig) *pipeline.Bank {
+	t.Helper()
+	ds, err := tracegen.New(seed).LabDataset(0.03, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.NumTrees == 0 {
+		cfg = ml.ForestConfig{NumTrees: 12, MaxDepth: 20, MaxFeatures: 34, Seed: seed}
+	}
+	bank, err := pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bank
+}
+
+// classifyAll runs every flow of ds through bank, returning the records and
+// extracted features the serving pipeline would hand to OnClassify.
+func classifyAll(t testing.TB, bank *pipeline.Bank, ds *tracegen.Dataset) ([]*pipeline.FlowRecord, []*features.FieldValues) {
+	t.Helper()
+	var recs []*pipeline.FlowRecord
+	var vals []*features.FieldValues
+	for _, ft := range ds.Flows {
+		info, err := pipeline.ExtractTrace(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := features.Extract(info)
+		pred, err := bank.Classify(ft.Provider, ft.Transport, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, &pipeline.FlowRecord{
+			Classified: true, Provider: ft.Provider, Transport: ft.Transport,
+			Prediction: pred, ModelVersion: bank.Version,
+		})
+		vals = append(vals, v)
+	}
+	return recs, vals
+}
+
+func TestPromoteRollbackRoundTripThroughDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains banks")
+	}
+	dir := t.TempDir()
+	reg, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Current() != nil {
+		t.Fatal("fresh registry has an active version")
+	}
+
+	swaps := 0
+	reg.OnSwap(func(*Version) { swaps++ })
+
+	bankA := trainBank(t, 1, ml.ForestConfig{})
+	mA, err := reg.Add(bankA, "initial", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mA.ID != "v0001" || mA.State != StateCandidate {
+		t.Fatalf("first manifest = %+v", mA)
+	}
+	if bankA.Version != "v0001" {
+		t.Errorf("Add did not stamp bank version: %q", bankA.Version)
+	}
+	if _, err := reg.Promote("v0001"); err != nil {
+		t.Fatal(err)
+	}
+
+	bankB := trainBank(t, 2, ml.ForestConfig{})
+	if _, err := reg.Add(bankB, "drift: test", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Promote("v0002"); err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 2 {
+		t.Errorf("swap callbacks = %d, want 2", swaps)
+	}
+	if cur := reg.Current(); cur.Manifest.ID != "v0002" || cur.Bank.Version != "v0002" {
+		t.Fatalf("current = %+v", reg.Current().Manifest)
+	}
+
+	// A new process opens the same directory: full state round-trips.
+	reg2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := reg2.Current()
+	if cur == nil || cur.Manifest.ID != "v0002" {
+		t.Fatalf("reopened active = %+v", cur)
+	}
+	// The reloaded bank must actually classify.
+	ds, err := tracegen.New(3).LabDataset(0.01, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := classifyAll(t, cur.Bank, ds)
+	if len(recs) == 0 {
+		t.Fatal("reloaded bank classified nothing")
+	}
+	list := reg2.List()
+	if len(list) != 2 {
+		t.Fatalf("list = %+v", list)
+	}
+	if list[0].State != StateRetired || list[1].State != StateActive {
+		t.Errorf("states = %s/%s, want retired/active", list[0].State, list[1].State)
+	}
+
+	// Rollback returns to the previous distinct version and survives reopen.
+	v, err := reg2.Rollback()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Manifest.ID != "v0001" {
+		t.Fatalf("rollback landed on %s", v.Manifest.ID)
+	}
+	reg3, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur := reg3.Current(); cur.Manifest.ID != "v0001" {
+		t.Fatalf("reopened after rollback = %+v", cur.Manifest)
+	}
+	hist := reg3.History()
+	if len(hist) != 3 || hist[2] != "v0001" {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+func TestRollbackWithoutPredecessorFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	reg, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Rollback(); err == nil {
+		t.Fatal("rollback on empty registry succeeded")
+	}
+	bank := trainBank(t, 1, ml.ForestConfig{})
+	if _, err := reg.Add(bank, "initial", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Promote("v0001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Rollback(); err == nil {
+		t.Fatal("rollback with a single version succeeded")
+	}
+}
+
+func TestKeepPrunesOldRetiredVersions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains banks")
+	}
+	dir := t.TempDir()
+	reg, err := New(Config{Dir: dir, Keep: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		bank := trainBank(t, seed, ml.ForestConfig{NumTrees: 3, MaxDepth: 5, MaxFeatures: 10, Seed: seed})
+		m, err := reg.Add(bank, "cycle", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Promote(m.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// v0003 active, v0002 retired (kept), v0001 pruned on the next Add.
+	bank := trainBank(t, 4, ml.ForestConfig{NumTrees: 3, MaxDepth: 5, MaxFeatures: 10, Seed: 4})
+	if _, err := reg.Add(bank, "cycle", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v0001.bank")); !os.IsNotExist(err) {
+		t.Errorf("v0001 bank not pruned (err=%v)", err)
+	}
+	if cur := reg.Current(); cur.Manifest.ID != "v0003" {
+		t.Errorf("pruning touched the active version: %+v", cur.Manifest)
+	}
+	// Pruned versions must also leave the promotion history, so rollback
+	// resolves to the surviving predecessor, never a deleted version.
+	v, err := reg.Rollback()
+	if err != nil {
+		t.Fatalf("rollback after prune: %v", err)
+	}
+	if v.Manifest.ID != "v0002" {
+		t.Errorf("rollback after prune landed on %s, want v0002", v.Manifest.ID)
+	}
+}

@@ -1,0 +1,258 @@
+package registry
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"videoplat/internal/drift"
+	"videoplat/internal/features"
+	"videoplat/internal/pipeline"
+)
+
+// TrainFunc produces a replacement bank — in production, train on freshly
+// collected ground truth from the drifted fleet; in the synthetic
+// reproduction, regenerate a lab dataset (optionally with the open-set
+// profile perturbation) and fit a new forest. It runs on the retrainer's
+// background goroutine, never on the serving path. reason is the drift
+// verdict that triggered it; seed varies per attempt so repeated retrains
+// explore different draws.
+type TrainFunc func(reason string, seed uint64) (*pipeline.Bank, error)
+
+// RetrainerConfig tunes the drift → retrain → shadow → promote loop.
+type RetrainerConfig struct {
+	// Train builds candidate banks. Required.
+	Train TrainFunc
+	// Gate is the shadow-evaluation promotion bar.
+	Gate Gate
+	// Seed is the base RNG seed; attempt i trains with Seed+i.
+	Seed uint64
+	// Cooldown is the minimum wall-clock gap between training attempts
+	// (default 1 minute), so a flapping drift signal cannot melt the CPU.
+	Cooldown time.Duration
+}
+
+// shadowEval pairs a running Shadow with the candidate version under test.
+type shadowEval struct {
+	sh *Shadow
+	id string
+}
+
+// triggerReq is a timestamped retrain request; requests raised before the
+// most recent swap are stale (they described the bank that was just
+// replaced) and are dropped.
+type triggerReq struct {
+	reason string
+	at     time.Time
+}
+
+// Retrainer closes the paper's §5.3 loop: a drift.Monitor flags a decaying
+// classifier (BindMonitor), a candidate bank is trained off the hot path,
+// stored in the registry, shadow-evaluated on live traffic, and promoted —
+// hot-swapping every subscriber via Registry.OnSwap — only when it clears
+// the gate. Rejected candidates are recorded and the monitor re-armed so
+// persistent drift triggers another attempt with a fresh seed.
+type Retrainer struct {
+	reg *Registry
+	cfg RetrainerConfig
+	mon *drift.Monitor // optional; set by BindMonitor
+
+	shadow  atomic.Pointer[shadowEval]
+	trigger chan triggerReq
+
+	retrains   atomic.Uint64
+	promotions atomic.Uint64
+	rejections atomic.Uint64
+
+	mu          sync.Mutex
+	lastAttempt time.Time
+	lastSwap    time.Time
+	lastErr     error
+}
+
+// NewRetrainer returns a Retrainer over a registry with at least one
+// promoted version (the shadow needs an active bank to compare against).
+func NewRetrainer(reg *Registry, cfg RetrainerConfig) (*Retrainer, error) {
+	if cfg.Train == nil {
+		return nil, fmt.Errorf("registry: RetrainerConfig.Train is required")
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Minute
+	}
+	cfg.Gate.defaults()
+	rt := &Retrainer{reg: reg, cfg: cfg, trigger: make(chan triggerReq, 1)}
+	reg.OnSwap(func(*Version) {
+		rt.mu.Lock()
+		rt.lastSwap = time.Now()
+		rt.mu.Unlock()
+	})
+	return rt, nil
+}
+
+// BindMonitor subscribes the retrainer to a drift monitor's flag events and
+// arranges for the monitor to rebaseline whenever the registry activates a
+// new version, so the swapped-in bank is judged against its own reference
+// distribution.
+func (rt *Retrainer) BindMonitor(mon *drift.Monitor) {
+	rt.mon = mon
+	mon.Subscribe(func(st drift.Status) {
+		rt.Trigger(fmt.Sprintf("drift: %s/%s %s", st.Provider, st.Transport, st.Reason))
+	})
+	rt.reg.OnSwap(func(*Version) { mon.Rebaseline() })
+}
+
+// Trigger requests a retrain (non-blocking; duplicate requests while one is
+// pending or a shadow is running are coalesced/dropped).
+func (rt *Retrainer) Trigger(reason string) {
+	select {
+	case rt.trigger <- triggerReq{reason: reason, at: time.Now()}:
+	default:
+	}
+}
+
+// Start runs the retrain loop until ctx is cancelled. Call from its own
+// goroutine (`go rt.Start(ctx)`); training happens here, never on the
+// serving path.
+func (rt *Retrainer) Start(ctx context.Context) {
+	attempt := uint64(0)
+	for {
+		var req triggerReq
+		select {
+		case <-ctx.Done():
+			return
+		case req = <-rt.trigger:
+		}
+		if rt.shadow.Load() != nil {
+			continue // already evaluating a candidate
+		}
+		rt.mu.Lock()
+		stale := !rt.lastSwap.IsZero() && req.at.Before(rt.lastSwap)
+		rt.mu.Unlock()
+		if stale {
+			continue // verdict described the bank that was just replaced
+		}
+		if !rt.waitCooldown(ctx) {
+			return
+		}
+
+		seed := rt.cfg.Seed + attempt
+		attempt++
+		rt.mu.Lock()
+		rt.lastAttempt = time.Now()
+		rt.mu.Unlock()
+
+		bank, err := rt.cfg.Train(req.reason, seed)
+		if err != nil {
+			rt.setErr(fmt.Errorf("registry: retraining: %w", err))
+			continue
+		}
+		man, err := rt.reg.Add(bank, req.reason, seed)
+		if err != nil {
+			rt.setErr(err)
+			continue
+		}
+		rt.retrains.Add(1)
+		rt.shadow.Store(&shadowEval{sh: NewShadow(bank, rt.cfg.Gate), id: man.ID})
+	}
+}
+
+// ObserveClassified feeds one live classification to the running shadow
+// evaluation, if any — wire it to pipeline Config.OnClassify. When the
+// shadow reaches its verdict the candidate is promoted or rejected on a
+// separate goroutine, so the serving path never waits on registry disk IO.
+// Safe for concurrent use from shard goroutines.
+func (rt *Retrainer) ObserveClassified(rec *pipeline.FlowRecord, v *features.FieldValues) {
+	se := rt.shadow.Load()
+	if se == nil {
+		return
+	}
+	if !se.sh.Observe(rec, v) {
+		return
+	}
+	// Verdict is ready; exactly one observer claims the resolution.
+	if rt.shadow.CompareAndSwap(se, nil) {
+		go rt.resolve(se)
+	}
+}
+
+func (rt *Retrainer) resolve(se *shadowEval) {
+	metrics, ok := se.sh.Verdict()
+	if !ok {
+		return // unreachable: Observe reported readiness
+	}
+	if err := rt.reg.SetShadowMetrics(se.id, metrics, metrics.Promoted); err != nil {
+		rt.setErr(err)
+	}
+	if metrics.Promoted {
+		if _, err := rt.reg.Promote(se.id); err != nil {
+			rt.setErr(err)
+			return
+		}
+		rt.promotions.Add(1)
+		return
+	}
+	rt.rejections.Add(1)
+	if rt.mon != nil {
+		// The drift is still real; let the monitor flag it again so the
+		// next attempt trains with a different seed.
+		rt.mon.Rearm()
+	}
+}
+
+func (rt *Retrainer) waitCooldown(ctx context.Context) bool {
+	rt.mu.Lock()
+	wait := rt.cfg.Cooldown - time.Since(rt.lastAttempt)
+	last := rt.lastAttempt
+	rt.mu.Unlock()
+	if last.IsZero() || wait <= 0 {
+		return true
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(wait):
+		return true
+	}
+}
+
+func (rt *Retrainer) setErr(err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.lastErr = err
+}
+
+// Status is the retrainer's live state for the operations API.
+type Status struct {
+	Retrains     uint64 `json:"retrains"`
+	Promotions   uint64 `json:"promotions"`
+	Rejections   uint64 `json:"rejections"`
+	ShadowActive bool   `json:"shadow_active"`
+	// ShadowCandidate is the version id under shadow evaluation, if any.
+	ShadowCandidate string `json:"shadow_candidate,omitempty"`
+	ShadowFlows     int    `json:"shadow_flows,omitempty"`
+	LastError       string `json:"last_error,omitempty"`
+}
+
+// Status reports the retrainer's counters and any running shadow
+// evaluation. Safe from any goroutine.
+func (rt *Retrainer) Status() Status {
+	st := Status{
+		Retrains:   rt.retrains.Load(),
+		Promotions: rt.promotions.Load(),
+		Rejections: rt.rejections.Load(),
+	}
+	if se := rt.shadow.Load(); se != nil {
+		st.ShadowActive = true
+		st.ShadowCandidate = se.id
+		m, _ := se.sh.Verdict()
+		st.ShadowFlows = m.Flows
+	}
+	rt.mu.Lock()
+	if rt.lastErr != nil {
+		st.LastError = rt.lastErr.Error()
+	}
+	rt.mu.Unlock()
+	return st
+}

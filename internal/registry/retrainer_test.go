@@ -1,0 +1,244 @@
+package registry
+
+import (
+	"context"
+
+	"testing"
+	"time"
+	"videoplat/internal/fingerprint"
+
+	"videoplat/internal/drift"
+	"videoplat/internal/ml"
+	"videoplat/internal/pipeline"
+	"videoplat/internal/tracegen"
+)
+
+// TestRetrainerClosesTheDriftLoop drives the full §5.3 lifecycle without a
+// server: in-distribution traffic establishes the drift baseline, open-set
+// (platform-update) traffic degrades confidence, the monitor's subscription
+// triggers a retrain, the candidate is shadow-evaluated on the same drifted
+// stream, and promotion hot-swaps the active version in the registry.
+func TestRetrainerClosesTheDriftLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains banks")
+	}
+	reg, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := trainBank(t, 1, ml.ForestConfig{})
+	m0, err := reg.Add(initial, "initial", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Promote(m0.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "fresh ground truth from the updated fleet": a bank trained on
+	// open-set (drifted) profiles, returned by the injected TrainFunc.
+	driftedDS, err := tracegen.New(31).OpenSetDataset(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replacement, err := pipeline.TrainBank(driftedDS, pipeline.TrainConfig{Forest: ml.ForestConfig{
+		NumTrees: 12, MaxDepth: 20, MaxFeatures: 34, Seed: 31}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := drift.NewMonitor(drift.Config{Window: 40, Baseline: 40, ConfidenceDrop: 0.05})
+	trained := make(chan string, 1)
+	rt, err := NewRetrainer(reg, RetrainerConfig{
+		Train: func(reason string, seed uint64) (*pipeline.Bank, error) {
+			select {
+			case trained <- reason:
+			default:
+			}
+			return replacement, nil
+		},
+		Gate:     Gate{SampleRate: 1, MinFlows: 30, MinAgreement: 0.05},
+		Cooldown: time.Millisecond,
+		Seed:     99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.BindMonitor(mon)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.Start(ctx)
+
+	closed, err := tracegen.New(22).LabDataset(0.03, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := tracegen.New(23).OpenSetDataset(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// feed classifies every flow against whatever bank is currently active
+	// — exactly what the serving pipeline does — and wires the monitor and
+	// shadow hooks the way internal/server does.
+	feed := func(ds *tracegen.Dataset) {
+		cur := reg.Current()
+		recs, vals := classifyAll(t, cur.Bank, ds)
+		for i := range recs {
+			mon.Observe(recs[i])
+			rt.ObserveClassified(recs[i], vals[i])
+		}
+	}
+
+	// Phase 1: baseline on in-distribution traffic.
+	for i := 0; i < 3; i++ {
+		feed(closed)
+	}
+	if got := reg.Current().Manifest.ID; got != "v0001" {
+		t.Fatalf("premature swap to %s", got)
+	}
+
+	// Phase 2: the fleet updates. Keep streaming drifted traffic until the
+	// loop completes: flag → retrain → shadow → promote.
+	deadline := time.After(60 * time.Second)
+	for reg.Current().Manifest.ID == "v0001" {
+		select {
+		case <-deadline:
+			t.Fatalf("no promotion; retrainer=%+v drift=%+v registry=%+v",
+				rt.Status(), mon.Statuses(), reg.List())
+		default:
+		}
+		feed(open)
+	}
+	// One full cycle is what this test pins down; stop the loop so the
+	// hair-trigger config (1ms cooldown, tiny windows) cannot start a
+	// second one while we assert.
+	cancel()
+
+	cur := reg.Current()
+	if cur.Manifest.ID == "v0001" || cur.Bank.Version != cur.Manifest.ID {
+		t.Fatalf("active after loop = %+v", cur.Manifest)
+	}
+	select {
+	case reason := <-trained:
+		if reason == "" {
+			t.Error("retrain reason empty")
+		}
+	default:
+		t.Error("TrainFunc never invoked")
+	}
+
+	// The promotion must be recorded on disk with its shadow metrics.
+	activeID := cur.Manifest.ID
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range reg.List() {
+			if m.ID == activeID && m.State == StateActive && m.Shadow != nil && m.Shadow.Promoted {
+				return true
+			}
+		}
+		return false
+	})
+
+	// And the monitor was rebaselined: the new bank on drifted traffic is
+	// healthy against its own reference. Feed the monitor only — the
+	// retrainer is stopped, and a live shadow must not resolve mid-assert.
+	for i := 0; i < 3; i++ {
+		recs, _ := classifyAll(t, reg.Current().Bank, open)
+		for _, rec := range recs {
+			mon.Observe(rec)
+		}
+	}
+	for _, st := range mon.Statuses() {
+		if st.Drifting {
+			t.Errorf("post-swap classifier judged against old baseline: %+v", st)
+		}
+	}
+	if st := rt.Status(); st.Promotions < 1 || st.LastError != "" {
+		t.Errorf("retrainer status = %+v", st)
+	}
+}
+
+// TestRetrainerRejectionRearmsMonitor: a candidate that fails the gate is
+// recorded as rejected and the monitor re-arms so the next flag can fire.
+func TestRetrainerRejectionRearmsMonitor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains banks")
+	}
+	reg, err := New(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := trainBank(t, 1, ml.ForestConfig{})
+	m0, err := reg.Add(initial, "initial", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Promote(m0.ID); err != nil {
+		t.Fatal(err)
+	}
+	bad := trainBank(t, 2, ml.ForestConfig{NumTrees: 12, MaxDepth: 1, MaxFeatures: 34, Seed: 2})
+
+	mon := drift.NewMonitor(drift.Config{Window: 40, Baseline: 40, ConfidenceDrop: 0.05})
+	rt, err := NewRetrainer(reg, RetrainerConfig{
+		Train:    func(string, uint64) (*pipeline.Bank, error) { return bad, nil },
+		Gate:     Gate{SampleRate: 1, MinFlows: 30},
+		Cooldown: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.BindMonitor(mon)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go rt.Start(ctx)
+
+	closed, err := tracegen.New(22).LabDataset(0.03, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	open, err := tracegen.New(23).OpenSetDataset(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(ds *tracegen.Dataset) {
+		recs, vals := classifyAll(t, reg.Current().Bank, ds)
+		for i := range recs {
+			mon.Observe(recs[i])
+			rt.ObserveClassified(recs[i], vals[i])
+		}
+	}
+	for i := 0; i < 3; i++ {
+		feed(closed)
+	}
+	deadline := time.After(60 * time.Second)
+	for rt.Status().Rejections == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("no rejection; retrainer=%+v registry=%+v", rt.Status(), reg.List())
+		default:
+		}
+		feed(open)
+	}
+	if got := reg.Current().Manifest.ID; got != "v0001" {
+		t.Fatalf("bad candidate was promoted: %s", got)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		for _, m := range reg.List() {
+			if m.State == StateRejected && m.Shadow != nil && !m.Shadow.Promoted {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -52,12 +52,13 @@ func (s *fileSource) Close() error { return s.f.Close() }
 // for soak-testing the daemon without a capture file. Sessions start at
 // 30-second intervals of trace time, mirroring cmd/vpgen.
 type SynthSource struct {
-	g        *tracegen.Generator
-	rng      *rand.Rand
-	start    time.Time
-	sessions int // remaining sessions to render
-	rendered int
-	queue    []pcap.Packet
+	g          *tracegen.Generator
+	rng        *rand.Rand
+	start      time.Time
+	sessions   int // remaining sessions to render
+	rendered   int
+	driftAfter int // sessions after which profiles drift (0 = never)
+	queue      []pcap.Packet
 }
 
 // NewSynthSource returns a Source producing n synthetic video sessions
@@ -72,6 +73,17 @@ func NewSynthSource(seed uint64, n int) *SynthSource {
 		start:    time.Date(2023, 7, 7, 12, 0, 0, 0, time.UTC),
 		sessions: n,
 	}
+}
+
+// NewDriftingSynthSource is NewSynthSource with an injected fleet update:
+// from session driftAfter on, flows are rendered with the open-set profile
+// perturbation (same devices, newer OS/app versions), reproducing the
+// concept drift of the paper's §5.3 under live load — the scenario the
+// drift monitor and retrainer exist for.
+func NewDriftingSynthSource(seed uint64, n, driftAfter int) *SynthSource {
+	s := NewSynthSource(seed, n)
+	s.driftAfter = driftAfter
+	return s
 }
 
 func (s *SynthSource) Next() (pcap.Packet, error) {
@@ -106,7 +118,8 @@ func (s *SynthSource) renderSession() error {
 		}
 	}
 	label := labels[s.rng.IntN(len(labels))]
-	flows, err := s.g.Session(label, prov, fingerprint.Options{})
+	opts := fingerprint.Options{OpenSet: s.driftAfter > 0 && s.rendered >= s.driftAfter}
+	flows, err := s.g.Session(label, prov, opts)
 	if err != nil {
 		return fmt.Errorf("server: rendering session: %w", err)
 	}

@@ -9,6 +9,13 @@
 //
 // This is the service surface the paper's continuous broadband deployment
 // implies but the batch tools lack; cmd/vpserve is the daemon entrypoint.
+//
+// With a model registry attached (Config.Registry), the daemon also serves
+// the model lifecycle: /models lists stored bank versions and the active
+// one, /models/promote and /models/rollback hot-swap the serving bank with
+// zero downtime, /models/export captures the active bank as a vptrain-style
+// gob, and a drift monitor plus retrainer (Config.Drift, Config.Retrainer)
+// close the paper's §5.3 detect→retrain→redeploy loop automatically.
 package server
 
 import (
@@ -25,8 +32,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"videoplat/internal/drift"
+	"videoplat/internal/features"
 	"videoplat/internal/flowtable"
 	"videoplat/internal/pipeline"
+	"videoplat/internal/registry"
 	"videoplat/internal/telemetry"
 )
 
@@ -50,6 +60,24 @@ type Config struct {
 	Rate float64
 	// Sink receives sealed rollup windows (nil = discard).
 	Sink telemetry.Sink
+
+	// Registry, if non-nil, enables the model lifecycle API: /models,
+	// /models/promote and /models/rollback, and every activation
+	// (API-driven or retrainer-driven) hot-swaps the serving pipeline's
+	// bank with zero downtime. The caller remains responsible for seeding
+	// an empty registry and passing its active bank to New.
+	Registry *registry.Registry
+	// Drift, if non-nil, observes every classification (the complete
+	// stream, not the best-effort Results channel) and surfaces per-
+	// classifier verdicts in /stats. When Registry is also set and no
+	// Retrainer owns the monitor, the server rebaselines it after each
+	// swap so a new bank is judged against its own reference.
+	Drift *drift.Monitor
+	// Retrainer, if non-nil, runs the drift-triggered retrain loop for the
+	// daemon's lifetime: shadow evaluations are fed from the serving
+	// path's classifications and promotions hot-swap the bank. The caller
+	// should have bound it to Drift via BindMonitor.
+	Retrainer *registry.Retrainer
 }
 
 func (c *Config) fillDefaults() {
@@ -85,6 +113,7 @@ type Server struct {
 	classified atomic.Uint64
 	unknown    atomic.Uint64
 	finalized  atomic.Uint64 // records that reached the rollup
+	swaps      atomic.Uint64 // bank hot-swaps applied to the pipeline
 
 	evictions  chan *pipeline.FlowRecord
 	replayDone chan struct{}
@@ -118,6 +147,20 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 	pcfg := pipeline.Config{OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
 		s.evictions <- rec
 	}}
+	if cfg.Drift != nil || cfg.Retrainer != nil {
+		// One hook covers both consumers: the drift monitor sees the
+		// complete classification stream, and the retrainer's shadow
+		// evaluation samples from it. Runs on shard goroutines; both
+		// consumers are concurrency-safe and non-blocking.
+		pcfg.OnClassify = func(rec *pipeline.FlowRecord, v *features.FieldValues) {
+			if cfg.Drift != nil {
+				cfg.Drift.Observe(rec)
+			}
+			if cfg.Retrainer != nil {
+				cfg.Retrainer.ObserveClassified(rec, v)
+			}
+		}
+	}
 	if cfg.MaxFlows > 0 {
 		perShard := cfg.MaxFlows / cfg.Shards
 		if perShard < 1 {
@@ -129,6 +172,22 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		pcfg.IdleTimeout = cfg.IdleTimeout
 	}
 	s.sharded = pipeline.NewShardedWithConfig(bank, cfg.Shards, pcfg)
+
+	if cfg.Registry != nil {
+		// Every activation — operator promote/rollback or retrainer
+		// promotion — hot-swaps the serving bank. The swap is an atomic
+		// pointer store per shard; classification never blocks on it.
+		cfg.Registry.OnSwap(func(v *registry.Version) {
+			s.sharded.SwapBank(v.Bank)
+			s.swaps.Add(1)
+			if cfg.Drift != nil && cfg.Retrainer == nil {
+				// No retrainer owns the monitor: reset the reference
+				// distribution here so the new bank is not judged against
+				// the old model's baseline.
+				cfg.Drift.Rebaseline()
+			}
+		})
+	}
 
 	lis, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -142,6 +201,10 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /flows", s.handleFlows)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /models", s.handleModels)
+	mux.HandleFunc("POST /models/promote", s.handleModelsPromote)
+	mux.HandleFunc("POST /models/rollback", s.handleModelsRollback)
+	mux.HandleFunc("GET /models/export", s.handleModelsExport)
 	s.httpSrv = &http.Server{Handler: mux}
 	return s, nil
 }
@@ -164,6 +227,9 @@ func (s *Server) Run(ctx context.Context) error {
 	replayCtx, cancelReplay := context.WithCancel(ctx)
 	defer cancelReplay()
 	go s.replay(replayCtx)
+	if s.cfg.Retrainer != nil {
+		go s.cfg.Retrainer.Start(replayCtx) // training never runs on the serving path
+	}
 
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- s.httpSrv.Serve(s.lis) }()
@@ -333,6 +399,25 @@ type Stats struct {
 		SinkError     string            `json:"sink_error,omitempty"`
 		Current       *telemetry.Window `json:"current_window,omitempty"`
 	} `json:"rollup"`
+
+	// Models reports the serving bank's identity and, with a registry
+	// attached, the lifecycle state.
+	Models ModelsStats `json:"models"`
+	// Drift lists per-classifier drift verdicts when a monitor is attached.
+	Drift []drift.Status `json:"drift,omitempty"`
+}
+
+// ModelsStats is the /stats models section.
+type ModelsStats struct {
+	// ActiveVersion is the registry version of the serving bank
+	// ("unversioned" for ad-hoc banks).
+	ActiveVersion string `json:"active_version"`
+	// Swaps counts bank hot-swaps applied to the pipeline since start.
+	Swaps uint64 `json:"swaps"`
+	// Versions is how many versions the registry stores (0 without one).
+	Versions int `json:"versions,omitempty"`
+	// Retrainer is the auto-retrain loop's state, when one is running.
+	Retrainer *registry.Status `json:"retrainer,omitempty"`
 }
 
 // Snapshot assembles the current Stats. Safe from any goroutine.
@@ -361,6 +446,19 @@ func (s *Server) Snapshot() Stats {
 		st.Rollup.SinkError = err.Error()
 	}
 	st.Rollup.Current = s.rollup.Current()
+
+	st.Models.ActiveVersion = s.activeVersion()
+	st.Models.Swaps = s.swaps.Load()
+	if s.cfg.Registry != nil {
+		st.Models.Versions = len(s.cfg.Registry.List())
+	}
+	if s.cfg.Retrainer != nil {
+		rst := s.cfg.Retrainer.Status()
+		st.Models.Retrainer = &rst
+	}
+	if s.cfg.Drift != nil {
+		st.Drift = s.cfg.Drift.Statuses()
+	}
 
 	if ns := s.lastTS.Load(); ns != 0 {
 		st.Replay.LastPacketTime = time.Unix(0, ns).UTC()
@@ -484,12 +582,93 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", float64(st.FinalizedFlows))
 	metric("videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", float64(st.DroppedResults))
 	metric("videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", float64(st.Rollup.Sealed))
+	b = append(b, "# HELP videoplat_model_active_info Active model bank version (value is always 1).\n# TYPE videoplat_model_active_info gauge\n"...)
+	b = append(b, fmt.Sprintf("videoplat_model_active_info{version=%q} 1\n", st.Models.ActiveVersion)...)
+	metric("videoplat_model_swaps_total", "counter", "Bank hot-swaps applied to the pipeline.", float64(st.Models.Swaps))
+	if st.Models.Retrainer != nil {
+		metric("videoplat_model_retrains_total", "counter", "Candidate banks trained by the retrainer.", float64(st.Models.Retrainer.Retrains))
+		metric("videoplat_model_promotions_total", "counter", "Candidates promoted after shadow evaluation.", float64(st.Models.Retrainer.Promotions))
+		metric("videoplat_model_rejections_total", "counter", "Candidates rejected by the shadow gate.", float64(st.Models.Retrainer.Rejections))
+	}
 	done := 0.0
 	if st.Replay.Done {
 		done = 1
 	}
 	metric("videoplat_replay_done", "gauge", "1 once the replay source is exhausted.", done)
 	w.Write(b)
+}
+
+// activeVersion names the bank currently serving classifications.
+func (s *Server) activeVersion() string {
+	if v := s.sharded.Bank().Version; v != "" {
+		return v
+	}
+	return "unversioned"
+}
+
+// handleModels lists stored versions and the active one. Without a registry
+// it still reports the serving bank's identity, with an empty history.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	out := struct {
+		Active   string              `json:"active"`
+		Swaps    uint64              `json:"swaps"`
+		History  []string            `json:"history,omitempty"`
+		Versions []registry.Manifest `json:"versions"`
+	}{Active: s.activeVersion(), Swaps: s.swaps.Load(), Versions: []registry.Manifest{}}
+	if s.cfg.Registry != nil {
+		out.History = s.cfg.Registry.History()
+		out.Versions = s.cfg.Registry.List()
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleModelsPromote(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Registry == nil {
+		http.Error(w, "no model registry configured (-registry-dir)", http.StatusConflict)
+		return
+	}
+	id := r.URL.Query().Get("version")
+	if id == "" {
+		http.Error(w, "missing ?version=", http.StatusBadRequest)
+		return
+	}
+	v, err := s.cfg.Registry.Promote(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, v.Manifest)
+}
+
+func (s *Server) handleModelsRollback(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Registry == nil {
+		http.Error(w, "no model registry configured (-registry-dir)", http.StatusConflict)
+		return
+	}
+	v, err := s.cfg.Registry.Rollback()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	writeJSON(w, v.Manifest)
+}
+
+// handleModelsExport streams the active bank as the same gob format vptrain
+// writes and -model loads, so an operator can capture a running system's
+// model (e.g. a retrained version that exists only in the registry) for
+// offline analysis or seeding another deployment.
+func (s *Server) handleModelsExport(w http.ResponseWriter, _ *http.Request) {
+	bank := s.sharded.Bank()
+	blob, err := bank.MarshalBinary()
+	if err != nil {
+		http.Error(w, fmt.Sprintf("serializing bank: %v", err), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", s.activeVersion()+".bank.gob"))
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Write(blob)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -62,6 +62,13 @@ type Window struct {
 
 	ByProvider map[string]*Cell `json:"by_provider,omitempty"`
 	ByPlatform map[string]*Cell `json:"by_platform,omitempty"`
+
+	// ModelVersions counts the window's classified flows by the registry
+	// version of the bank that classified them ("unversioned" for ad-hoc
+	// banks). During a hot-swap a window legitimately spans two versions;
+	// this keeps every sealed rollup attributable to the models that
+	// produced it.
+	ModelVersions map[string]int `json:"model_versions,omitempty"`
 }
 
 func (w *Window) add(rec *pipeline.FlowRecord) {
@@ -91,6 +98,17 @@ func (w *Window) add(rec *pipeline.FlowRecord) {
 		w.ByPlatform[platform] = cell
 	}
 	cell.add(rec)
+
+	if rec.Classified {
+		ver := rec.ModelVersion
+		if ver == "" {
+			ver = "unversioned"
+		}
+		if w.ModelVersions == nil {
+			w.ModelVersions = map[string]int{}
+		}
+		w.ModelVersions[ver]++
+	}
 }
 
 func (w *Window) seal() {
@@ -226,6 +244,12 @@ func (r *Rollup) Current() *Window {
 	snap := *r.cur
 	snap.ByProvider = cloneCells(r.cur.ByProvider)
 	snap.ByPlatform = cloneCells(r.cur.ByPlatform)
+	if r.cur.ModelVersions != nil {
+		snap.ModelVersions = make(map[string]int, len(r.cur.ModelVersions))
+		for k, v := range r.cur.ModelVersions {
+			snap.ModelVersions[k] = v
+		}
+	}
 	snap.seal()
 	return &snap
 }

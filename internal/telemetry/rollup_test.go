@@ -102,6 +102,31 @@ func TestRollupTumblingWindows(t *testing.T) {
 	}
 }
 
+func TestRollupModelVersionAttribution(t *testing.T) {
+	r := NewRollup(time.Minute, nil)
+	// A hot-swap lands mid-window: flows split across two bank versions,
+	// plus one classified by an ad-hoc (unversioned) bank.
+	a := rollRec(fingerprint.YouTube, "windows_chrome", w0, 10*time.Second, 1<<20)
+	a.ModelVersion = "v0001"
+	b := rollRec(fingerprint.Netflix, "iOS_nativeApp", w0.Add(5*time.Second), 10*time.Second, 1<<20)
+	b.ModelVersion = "v0002"
+	c := rollRec(fingerprint.Disney, "macOS_safari", w0.Add(10*time.Second), 10*time.Second, 1<<20)
+	unclassified := rollRec(fingerprint.Amazon, "", w0.Add(15*time.Second), 10*time.Second, 1<<20)
+	for _, rec := range []*pipeline.FlowRecord{a, b, c, unclassified} {
+		r.Add(rec)
+	}
+	cur := r.Current()
+	want := map[string]int{"v0001": 1, "v0002": 1, "unversioned": 1}
+	if len(cur.ModelVersions) != len(want) {
+		t.Fatalf("model versions = %+v, want %+v", cur.ModelVersions, want)
+	}
+	for k, n := range want {
+		if cur.ModelVersions[k] != n {
+			t.Errorf("model version %s = %d, want %d", k, cur.ModelVersions[k], n)
+		}
+	}
+}
+
 func TestRollupLateRecords(t *testing.T) {
 	r := NewRollup(time.Minute, nil)
 	r.Add(rollRec(fingerprint.Disney, "", w0.Add(5*time.Minute), time.Second, 1000))

@@ -35,8 +35,31 @@
 //     configurable packet rate and serves live operations endpoints
 //     (/stats, /flows, /healthz, /metrics) with graceful shutdown.
 //
+// The §5.3 concept-drift story is closed by the model lifecycle subsystem,
+// which evolves the classifier bank under live traffic:
+//
+//   - NewRegistry opens a versioned, disk-backed store of serialized banks
+//     (manifest per version: id, training config, seed, creation time,
+//     shadow-evaluation metrics). The active version sits behind an atomic
+//     pointer, so Promote and Rollback are zero-downtime hot-swaps: a flow
+//     classifying when the swap lands completes against the bank it
+//     loaded, the next flow sees the new one, and every record carries the
+//     ModelVersion that produced it (rollup windows aggregate these, so
+//     sealed telemetry stays attributable across swaps);
+//   - NewDriftMonitor watches per-classifier confidence and unknown-rate
+//     windows, with pollable verdicts and push Subscribe notifications,
+//     rebaselining itself whenever the serving bank's version changes;
+//   - NewRetrainer ties them together: a flagged classifier triggers a
+//     background retrain, the candidate bank shadow-classifies a sample of
+//     live flows alongside the active bank, and is promoted only when its
+//     confidence/agreement clears the ShadowGate — the paper's detect →
+//     retrain → redeploy loop with no serving interruption. The Server
+//     exposes it all over /models, /models/promote, /models/rollback and
+//     /models/export.
+//
 // See examples/quickstart for an end-to-end batch walkthrough,
-// examples/serve-replay for the streaming daemon, cmd/vpserve for the
+// examples/serve-replay for the streaming daemon, examples/drift-retrain
+// for the forced-drift auto-promotion walkthrough, cmd/vpserve for the
 // daemon binary, and cmd/vpexperiments for the harness that regenerates
 // every table and figure in the paper.
 package videoplat
@@ -45,10 +68,12 @@ import (
 	"io"
 	"time"
 
+	"videoplat/internal/drift"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/flowtable"
 	"videoplat/internal/ml"
 	"videoplat/internal/pipeline"
+	"videoplat/internal/registry"
 	"videoplat/internal/server"
 	"videoplat/internal/telemetry"
 	"videoplat/internal/tracegen"
@@ -97,6 +122,25 @@ type (
 	ServeConfig = server.Config
 	// ReplaySource streams timestamped frames into the daemon.
 	ReplaySource = server.Source
+
+	// Registry is the versioned model-bank store with atomic hot-swap.
+	Registry = registry.Registry
+	// RegistryConfig tunes a model registry (directory, retention).
+	RegistryConfig = registry.Config
+	// ModelManifest describes one stored bank version.
+	ModelManifest = registry.Manifest
+	// ModelVersion pairs a loaded bank with its manifest.
+	ModelVersion = registry.Version
+	// ShadowGate is the promotion bar for shadow-evaluated candidates.
+	ShadowGate = registry.Gate
+	// Retrainer runs the drift-triggered retrain/shadow/promote loop.
+	Retrainer = registry.Retrainer
+	// RetrainerConfig tunes the retrain loop (train func, gate, cooldown).
+	RetrainerConfig = registry.RetrainerConfig
+	// DriftMonitor flags classifiers whose predictions decay (§5.3).
+	DriftMonitor = drift.Monitor
+	// DriftConfig tunes drift detection windows and thresholds.
+	DriftConfig = drift.Config
 )
 
 // Providers.
@@ -183,3 +227,28 @@ func OpenReplaySource(path string) (ReplaySource, error) { return server.OpenFil
 // NewSynthSource returns a ReplaySource generating n synthetic video
 // sessions (n <= 0: unlimited) — a built-in load generator for the daemon.
 func NewSynthSource(seed uint64, n int) ReplaySource { return server.NewSynthSource(seed, n) }
+
+// NewDriftingSynthSource is NewSynthSource with an injected fleet update:
+// from session driftAfter on, flows render with the open-set profile
+// perturbation — the §5.3 concept-drift scenario under live load.
+func NewDriftingSynthSource(seed uint64, n, driftAfter int) ReplaySource {
+	return server.NewDriftingSynthSource(seed, n, driftAfter)
+}
+
+// NewRegistry opens (or initializes) a versioned model registry. Store
+// banks with Add, activate them with Promote/Rollback — each activation is
+// a zero-downtime hot-swap for every serving pipeline subscribed via
+// OnSwap (the Server subscribes automatically when given the registry).
+func NewRegistry(cfg RegistryConfig) (*Registry, error) { return registry.New(cfg) }
+
+// NewDriftMonitor returns a concept-drift monitor; feed it classified flow
+// records with Observe and subscribe to flag events for retraining.
+func NewDriftMonitor(cfg DriftConfig) *DriftMonitor { return drift.NewMonitor(cfg) }
+
+// NewRetrainer returns the drift-triggered retrain loop over a registry
+// with an active version. Bind it to a monitor, start it with Start, and
+// feed live classifications to ObserveClassified (the Server does both
+// when given the retrainer).
+func NewRetrainer(reg *Registry, cfg RetrainerConfig) (*Retrainer, error) {
+	return registry.NewRetrainer(reg, cfg)
+}
