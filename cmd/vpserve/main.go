@@ -51,6 +51,9 @@ func main() {
 		seed         = flag.Uint64("seed", 1, "seed for synthetic traffic and self-training")
 		rate         = flag.Float64("rate", 0, "replay pace in packets/sec (0 = as fast as possible)")
 		shards       = flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS)")
+		batchSize    = flag.Int("batch-size", 0, "frames read and dispatched per ingest batch (0 = default 64)")
+		shardQueue   = flag.Int("shard-queue", 0, "per-shard ingest inbox depth in batches (0 = default 64)")
+		resultsBuf   = flag.Int("results-buffer", 0, "classified-results channel capacity (0 = 64 per shard)")
 		maxFlows     = flag.Int("max-flows", 65536, "flow-table cap across shards (<0 = unbounded)")
 		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
 		window       = flag.Duration("window", time.Minute, "rollup window width")
@@ -147,16 +150,19 @@ func main() {
 	}
 
 	srv, err := server.New(bank, src, server.Config{
-		Addr:        *addr,
-		Shards:      *shards,
-		MaxFlows:    *maxFlows,
-		IdleTimeout: *idleTimeout,
-		WindowWidth: *window,
-		Rate:        *rate,
-		Sink:        sink,
-		Registry:    reg,
-		Drift:       mon,
-		Retrainer:   rt,
+		Addr:            *addr,
+		Shards:          *shards,
+		MaxFlows:        *maxFlows,
+		IdleTimeout:     *idleTimeout,
+		WindowWidth:     *window,
+		Rate:            *rate,
+		BatchSize:       *batchSize,
+		ShardQueueDepth: *shardQueue,
+		ResultsBuffer:   *resultsBuf,
+		Sink:            sink,
+		Registry:        reg,
+		Drift:           mon,
+		Retrainer:       rt,
 	})
 	exitOn(err)
 	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /models /healthz /metrics)\n", srv.Addr())
@@ -182,8 +188,9 @@ func main() {
 
 	st := srv.Snapshot()
 	fmt.Fprintf(os.Stderr,
-		"vpserve: done — %d packets, %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows, model %s (%d swaps)\n",
-		st.Replay.Packets, st.FlowTable.Inserted,
+		"vpserve: done — %d packets in %d batches (%d ignored, %d stalls), %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows, model %s (%d swaps)\n",
+		st.Replay.Packets, st.Ingest.Batches, st.Ingest.IgnoredFrames, st.Ingest.Stalls,
+		st.FlowTable.Inserted,
 		st.FlowTable.EvictedIdle, st.FlowTable.EvictedCap,
 		st.ClassifiedFlows, st.Rollup.Sealed,
 		st.Models.ActiveVersion, st.Models.Swaps)

@@ -4,6 +4,27 @@
 // attributes, and classified by a per-provider bank of random-forest models
 // with the 80% confidence selector of §4.1. Classified flows are joined with
 // volumetric telemetry for the §5 analyses.
+//
+// # Parse-once batched ingest
+//
+// Two entry points feed the pipeline. Pipeline.HandlePacket is the
+// single-core batch path. Sharded is the deployment shape of the paper's
+// multi-queue DPDK prototype: an ingest goroutine parses each frame exactly
+// once (the same decode that picks the shard) and summarizes it into the
+// flow key, canonical key and payload length that travel with the frame's
+// bytes — packed back-to-back into a pooled per-batch arena, one channel
+// send per shard per batch (HandlePacketBatch; HandlePacket ships a batch
+// of one). Shard workers never re-parse.
+//
+// Buffer-reuse rules: a batch's arena is recycled as soon as the shard
+// worker has run every frame through the pipeline, which is safe because
+// the pipeline copies anything it retains past the call (client-side
+// handshake frames are duplicated into flow state; flow keys and telemetry
+// are values). Code that adds retention to the flow path must keep that
+// copy-on-retain invariant or the arena recycle in Sharded becomes a
+// use-after-free. Frames with no TCP/UDP 5-tuple are dropped at ingest
+// (counted in Sharded.Ignored); queue depths and the best-effort results
+// buffer are Config knobs with shard-count-scaled defaults.
 package pipeline
 
 import (

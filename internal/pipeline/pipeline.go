@@ -57,6 +57,18 @@ type flowState struct {
 type Config struct {
 	// MaxFlows caps tracked flows (LRU eviction on overflow). 0 = unbounded.
 	MaxFlows int
+	// ShardQueueDepth is the per-shard inbox capacity of a Sharded pipeline,
+	// in batch messages. Deeper queues absorb ingest bursts at the cost of
+	// memory (each queued batch pins its pooled arena); a full inbox
+	// applies backpressure to the ingest goroutine, counted in
+	// Sharded.Stalls. 0 selects DefaultShardQueueDepth. Ignored by a plain
+	// Pipeline.
+	ShardQueueDepth int
+	// ResultsBuffer is the capacity of a Sharded pipeline's Results channel.
+	// 0 selects DefaultResultsBufferPerShard per shard, so wider deployments
+	// get proportionally more burst headroom before best-effort delivery
+	// starts dropping (see Sharded.Dropped). Ignored by a plain Pipeline.
+	ResultsBuffer int
 	// IdleTimeout retires flows with no packet for this long, measured in
 	// packet time so trace replay and live capture behave identically.
 	// 0 = never.
@@ -131,20 +143,39 @@ func (p *Pipeline) SwapBank(bank *Bank) { p.bank.Store(bank) }
 // HandlePacket processes one frame. It returns a non-nil FlowRecord exactly
 // when the frame completed a flow's classification.
 func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error) {
-	p.Packets++
 	if err := p.parser.Parse(frame, &p.parsed); err != nil {
+		p.Packets++
 		return nil, nil // undecodable frames are not errors for the tap
 	}
-	key, ok := p.parsed.Flow()
+	return p.handleParsed(ts, frame, &p.parsed)
+}
+
+// handleParsed is HandlePacket after its decode — the parse-once seam: the
+// one decode is summarized into the flow key and payload length for
+// handleKeyed, so nothing downstream re-parses. parsed must be the result
+// of Parser.Parse(frame, parsed); its slices may alias frame. The pipeline
+// copies anything it retains past the call, so the caller may recycle both
+// frame and parsed as soon as it returns.
+func (p *Pipeline) handleParsed(ts time.Time, frame []byte, parsed *packet.Parsed) (*FlowRecord, error) {
+	key, ok := parsed.Flow()
 	if !ok {
+		p.Packets++
 		return nil, nil
 	}
-	// Port filter: the providers' video flows ride 443.
-	if key.SrcPort != 443 && key.DstPort != 443 {
+	return p.handleKeyed(ts, frame, key, key.Canonical(), len(parsed.Payload))
+}
+
+// handleKeyed is the post-decode flow path. key, canon and payloadLen are
+// the ingest-time decode's summary — everything the flow stage needs, small
+// enough to travel through a shard queue without dragging the full layer
+// structs along. frame is still required for handshake assembly (client
+// frames are copied into flow state until a ClientHello parses out).
+func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.FlowKey, payloadLen int) (*FlowRecord, error) {
+	p.Packets++
+	if !isVideoPort(key) {
 		return nil, nil
 	}
 	p.maybeSweep(ts)
-	canon := key.Canonical()
 	st, ok := p.flows.Touch(canon, ts)
 	if !ok {
 		st = &flowState{clientKey: key}
@@ -155,12 +186,11 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 
 	// Telemetry split by direction.
 	st.rec.LastSeen = ts
-	payloadLen := int64(len(p.parsed.Payload))
 	if key == st.clientKey {
-		st.rec.BytesUp += payloadLen
+		st.rec.BytesUp += int64(payloadLen)
 		st.rec.PacketsUp++
 	} else {
-		st.rec.BytesDown += payloadLen
+		st.rec.BytesDown += int64(payloadLen)
 		st.rec.PacketsDown++
 	}
 
@@ -219,6 +249,13 @@ func (p *Pipeline) HandlePacket(ts time.Time, frame []byte) (*FlowRecord, error)
 		p.cfg.OnClassify(&hookRec, v)
 	}
 	return &out, nil
+}
+
+// isVideoPort is the port filter of the paper's tap: the providers' video
+// flows all ride 443. One predicate serves both the per-pipeline filter and
+// Sharded's ingest-time drop, so the policy cannot drift between them.
+func isVideoPort(key packet.FlowKey) bool {
+	return key.SrcPort == 443 || key.DstPort == 443
 }
 
 // maybeSweep runs idle expiry at most once per quarter idle-timeout,

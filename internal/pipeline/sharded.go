@@ -9,22 +9,85 @@ import (
 	"videoplat/internal/packet"
 )
 
+// Default queue depths for Sharded, used when the corresponding Config
+// fields are zero.
+const (
+	// DefaultShardQueueDepth is the per-shard inbox capacity in batch
+	// messages. Worst-case queued frame memory per shard is roughly
+	// depth × the largest batch's bytes (a 64-frame batch of 1.5KB frames
+	// is ~96KB, so 64 messages bound a shard at a few MB even if every
+	// frame of every batch hashes to it); in the common case a shard only
+	// queues its hash-share of each batch, far less.
+	DefaultShardQueueDepth = 64
+	// DefaultResultsBufferPerShard scales the Results channel with the shard
+	// count: every shard worker gets this much burst headroom before
+	// best-effort delivery starts dropping.
+	DefaultResultsBufferPerShard = 64
+)
+
+// IngestPacket is one timestamped frame handed to the batched ingest path.
+// The Data bytes are copied into a pooled arena on ingest, so the caller
+// may reuse them as soon as HandlePacketBatch returns.
+type IngestPacket struct {
+	TS   time.Time
+	Data []byte
+}
+
 // Sharded fans packets out to per-shard Pipelines by flow hash, the
 // multi-queue arrangement the paper's DPDK prototype uses to keep up with a
 // 20 Gbps tap. Hashing is symmetric (both directions of a flow land on the
 // same shard), and each shard owns its flow table, so shards never contend.
 //
+// Ingest contract: each frame is parsed exactly once, on the ingest
+// goroutine, and the decode is summarized into the flow key, canonical key
+// and payload length that travel with the frame — shard workers never
+// re-parse (Pipeline.handleKeyed). Frames that do not decode to a TCP/UDP
+// 5-tuple are dropped at ingest and counted in Ignored() — they carry no
+// flow, so copying them and occupying a shard queue slot (formerly always
+// shard 0's, skewing its load) bought nothing — and decodable flows off
+// port 443 are likewise dropped and counted in Filtered(), since the
+// pipeline's video filter would discard them anyway. Frame bytes are packed
+// back-to-back into per-batch arenas drawn from a sync.Pool and recycled
+// once the owning shard's pipeline has consumed the batch; the pipeline
+// copies anything it retains, so recycled arenas never alias live flow
+// state.
+//
+// HandlePacket and HandlePacketBatch are intended for a single ingest
+// goroutine (the shard workers provide the parallelism) and must not be
+// called concurrently with each other. When a shard's inbox fills, ingest
+// blocks until the worker catches up — backpressure, not loss — and the
+// stall is counted in Stalls().
+//
 // Results delivery contract: classified-flow records are delivered on
 // Results() on a best-effort basis. A consumer that stops draining does not
 // block the shard workers — once the buffer fills, further records are
 // counted in Dropped() and discarded, so Close never deadlocks on a stalled
-// consumer. Complete final state is always available from Flows() (plus the
-// Config.OnEvict hook for flows evicted from a bounded table).
+// consumer. The buffer defaults to DefaultResultsBufferPerShard per shard
+// (Config.ResultsBuffer overrides), so a consumer that is actively draining
+// rides out bursts proportional to the fan-out width. Complete final state
+// is always available from Flows() (plus the Config.OnEvict hook for flows
+// evicted from a bounded table).
 type Sharded struct {
-	shards  []*shard
-	results chan *FlowRecord
-	dropped atomic.Uint64
-	wg      sync.WaitGroup
+	shards   []*shard
+	results  chan *FlowRecord
+	dropped  atomic.Uint64
+	ignored  atomic.Uint64
+	filtered atomic.Uint64
+	stalls   atomic.Uint64
+
+	batchPool sync.Pool // *ingestBatch
+	wg        sync.WaitGroup
+
+	// pending holds each shard's batch under construction during a
+	// HandlePacketBatch call; a persistent field (legal under the
+	// single-ingest-goroutine contract) so the hot path never allocates it.
+	pending []*ingestBatch
+
+	// Scratch decode state for the ingest goroutine — HandlePacket and
+	// HandlePacketBatch are single-goroutine by contract, so one parser and
+	// one Parsed serve every frame and the hot layer structs stay resident.
+	parser  packet.Parser
+	scratch packet.Parsed
 }
 
 type shard struct {
@@ -32,30 +95,70 @@ type shard struct {
 	p  *Pipeline
 }
 
-// shardMsg is either a packet or, when snap is non-nil, a request for the
-// shard's current flow records (answered from the worker goroutine, so
-// snapshots never race packet processing).
+// shardMsg carries a batch of pre-parsed frames or, when snap is non-nil, a
+// request for the shard's current flow records (answered from the worker
+// goroutine, so snapshots never race packet processing).
 type shardMsg struct {
-	ts    time.Time
-	frame []byte
+	batch *ingestBatch
 	snap  chan []*FlowRecord
 }
 
+// ingestBatch is the unit shipped to a shard: one or more frames decoded at
+// ingest, their bytes packed back-to-back into a single arena. Packing
+// keeps the copy path sequential (a streamed append instead of scattered
+// per-frame buffers) and makes recycling one pool op per batch. Frames
+// reference their bytes by arena offset, so arena growth during packing
+// never invalidates them.
+type ingestBatch struct {
+	arena  []byte
+	frames []ingestFrame
+}
+
+// ingestFrame is the per-frame summary of the single ingest-time decode:
+// where the bytes live in the batch arena, the flow key (plus its canonical
+// form, so workers never recompute it) and the transport payload length —
+// everything the flow stage needs without dragging the full layer structs
+// through the queue.
+type ingestFrame struct {
+	ts         time.Time
+	off, end   int // frame bytes are arena[off:end]
+	key, canon packet.FlowKey
+	payloadLen int
+}
+
+// add packs one decoded frame and its bytes into the batch.
+func (b *ingestBatch) add(f ingestFrame, data []byte) {
+	f.off = len(b.arena)
+	b.arena = append(b.arena, data...)
+	f.end = len(b.arena)
+	b.frames = append(b.frames, f)
+}
+
 // NewSharded starts n shard workers over a shared trained bank with
-// unbounded per-shard flow tables.
+// unbounded per-shard flow tables and default queue depths.
 func NewSharded(bank *Bank, n int) *Sharded { return NewShardedWithConfig(bank, n, Config{}) }
 
 // NewShardedWithConfig starts n shard workers whose pipelines are each
 // bounded by cfg. cfg.MaxFlows applies per shard; cfg.OnEvict is invoked
-// from shard goroutines and must be safe for concurrent use. Call Close to
-// drain and stop.
+// from shard goroutines and must be safe for concurrent use.
+// cfg.ShardQueueDepth and cfg.ResultsBuffer size the per-shard inboxes and
+// the Results channel (zero selects the shard-count-scaled defaults). Call
+// Close to drain and stop.
 func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 	if n < 1 {
 		n = 1
 	}
-	s := &Sharded{results: make(chan *FlowRecord, 64)}
+	depth := cfg.ShardQueueDepth
+	if depth <= 0 {
+		depth = DefaultShardQueueDepth
+	}
+	rbuf := cfg.ResultsBuffer
+	if rbuf <= 0 {
+		rbuf = DefaultResultsBufferPerShard * n
+	}
+	s := &Sharded{results: make(chan *FlowRecord, rbuf), pending: make([]*ingestBatch, n)}
 	for i := 0; i < n; i++ {
-		sh := &shard{in: make(chan shardMsg, 256), p: NewWithConfig(bank, cfg)}
+		sh := &shard{in: make(chan shardMsg, depth), p: NewWithConfig(bank, cfg)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go func() {
@@ -65,14 +168,107 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 					msg.snap <- sh.p.Flows()
 					continue
 				}
-				rec, err := sh.p.HandlePacket(msg.ts, msg.frame)
-				if err == nil && rec != nil {
-					s.deliver(rec)
+				b := msg.batch
+				for i := range b.frames {
+					f := &b.frames[i]
+					rec, err := sh.p.handleKeyed(f.ts, b.arena[f.off:f.end], f.key, f.canon, f.payloadLen)
+					if err == nil && rec != nil {
+						s.deliver(rec)
+					}
 				}
+				// The pipeline copies anything it retains, so the arena is
+				// dead here and the whole batch recycles in one pool op.
+				s.batchPool.Put(b)
 			}
 		}()
 	}
 	return s
+}
+
+// getBatch returns an empty batch, recycling arena and frame capacity from
+// the pool when available.
+func (s *Sharded) getBatch() *ingestBatch {
+	if b, ok := s.batchPool.Get().(*ingestBatch); ok {
+		b.arena = b.arena[:0]
+		b.frames = b.frames[:0]
+		return b
+	}
+	return new(ingestBatch)
+}
+
+// decode parses one frame — the single parse of the ingest path — into the
+// ingest goroutine's scratch state and summarizes it. ok is false when the
+// frame carries no TCP/UDP 5-tuple (counted in Ignored) or is not port-443
+// traffic (counted in Filtered): neither can become a video flow, so
+// neither is worth an arena copy and a shard hop.
+func (s *Sharded) decode(ts time.Time, data []byte) (ingestFrame, int, bool) {
+	if err := s.parser.Parse(data, &s.scratch); err != nil {
+		s.ignored.Add(1)
+		return ingestFrame{}, 0, false
+	}
+	key, ok := s.scratch.Flow()
+	if !ok {
+		s.ignored.Add(1)
+		return ingestFrame{}, 0, false
+	}
+	if !isVideoPort(key) {
+		s.filtered.Add(1)
+		return ingestFrame{}, 0, false
+	}
+	canon := key.Canonical()
+	f := ingestFrame{ts: ts, key: key, canon: canon, payloadLen: len(s.scratch.Payload)}
+	return f, int(hashKey(canon) % uint64(len(s.shards))), true
+}
+
+// send enqueues a shard message, counting the stall when the inbox is full
+// before blocking until the worker catches up (backpressure, not loss).
+func (s *Sharded) send(sh *shard, msg shardMsg) {
+	select {
+	case sh.in <- msg:
+	default:
+		s.stalls.Add(1)
+		sh.in <- msg
+	}
+}
+
+// HandlePacket routes one frame to its flow's shard as a batch of one. The
+// frame is copied, so the caller may reuse it immediately. See the type
+// comment for the ingest contract (single ingest goroutine; frames without
+// a TCP/UDP 5-tuple are dropped and counted in Ignored).
+func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
+	f, idx, ok := s.decode(ts, frame)
+	if !ok {
+		return
+	}
+	b := s.getBatch()
+	b.add(f, frame)
+	s.send(s.shards[idx], shardMsg{batch: b})
+}
+
+// HandlePacketBatch routes a batch of frames with one decode per frame and
+// at most one channel send per shard, amortizing the per-packet channel
+// cost that dominates the single-packet path at high rates. Every pkt.Data
+// is copied into a pooled arena, so callers may reuse the batch and its
+// buffers immediately. See the type comment for the ingest contract.
+func (s *Sharded) HandlePacketBatch(pkts []IngestPacket) {
+	for _, pkt := range pkts {
+		f, idx, ok := s.decode(pkt.TS, pkt.Data)
+		if !ok {
+			continue
+		}
+		b := s.pending[idx]
+		if b == nil {
+			b = s.getBatch()
+			s.pending[idx] = b
+		}
+		b.add(f, pkt.Data)
+	}
+	for idx, b := range s.pending {
+		if b != nil {
+			s.pending[idx] = nil // the shard owns it from here
+			s.send(s.shards[idx], shardMsg{batch: b})
+		}
+	}
 }
 
 // deliver offers a record to the results channel without ever blocking a
@@ -106,25 +302,52 @@ func (s *Sharded) SwapBank(bank *Bank) {
 	}
 }
 
+// IngestStats is a point-in-time snapshot of the ingest-path counters — the
+// TableStats analogue for the batched entry point. All fields are monotonic
+// and safe to read from any goroutine via Sharded.IngestStats.
+type IngestStats struct {
+	// Ignored counts frames dropped at ingest: they failed to parse or were
+	// not TCP/UDP, so they carry no flow to route.
+	Ignored uint64 `json:"ignored_frames"`
+	// Filtered counts decodable flows dropped at ingest by the port-443
+	// video filter — on a general tap, the bulk of the traffic — before
+	// they cost a copy or a shard hop.
+	Filtered uint64 `json:"filtered_frames"`
+	// DroppedResults counts classified records discarded because the
+	// Results consumer was not draining (best-effort delivery).
+	DroppedResults uint64 `json:"dropped_results"`
+	// Stalls counts ingest submissions that found a shard inbox full and
+	// had to wait — sustained growth means the shard workers can't keep up
+	// with the offered rate (deepen ShardQueueDepth, add shards, or accept
+	// the backpressure).
+	Stalls uint64 `json:"stalls"`
+}
+
+// IngestStats snapshots the ingest counters. Safe from any goroutine.
+func (s *Sharded) IngestStats() IngestStats {
+	return IngestStats{
+		Ignored:        s.ignored.Load(),
+		Filtered:       s.filtered.Load(),
+		DroppedResults: s.dropped.Load(),
+		Stalls:         s.stalls.Load(),
+	}
+}
+
 // Dropped reports how many results were discarded because the consumer was
 // not draining Results. Safe from any goroutine.
 func (s *Sharded) Dropped() uint64 { return s.dropped.Load() }
 
-// HandlePacket routes one frame to its flow's shard. The frame is copied, so
-// callers may reuse the buffer.
-func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
-	var parser packet.Parser
-	var parsed packet.Parsed
-	idx := 0
-	if parser.Parse(frame, &parsed) == nil {
-		if key, ok := parsed.Flow(); ok {
-			idx = int(hashKey(key.Canonical()) % uint64(len(s.shards)))
-		}
-	}
-	buf := make([]byte, len(frame))
-	copy(buf, frame)
-	s.shards[idx].in <- shardMsg{ts: ts, frame: buf}
-}
+// Ignored reports how many frames were dropped at ingest because they
+// failed to parse or were not TCP/UDP. Safe from any goroutine.
+func (s *Sharded) Ignored() uint64 { return s.ignored.Load() }
+
+// Filtered reports how many decodable flows were dropped at ingest by the
+// port-443 video filter. Safe from any goroutine.
+func (s *Sharded) Filtered() uint64 { return s.filtered.Load() }
+
+// Stalls reports how many ingest submissions blocked on a full shard inbox.
+// Safe from any goroutine.
+func (s *Sharded) Stalls() uint64 { return s.stalls.Load() }
 
 // Close stops the workers after draining queued packets and closes Results.
 func (s *Sharded) Close() {

@@ -288,6 +288,32 @@ func TestAutoRetrainSwapsUnderInjectedDrift(t *testing.T) {
 		}
 	}
 
+	// A fast replay can land the swap between two of the polls above, and
+	// each promotion rebaselines the monitor (clearing its series), so keep
+	// polling while post-swap traffic repopulates it — drift verdicts must
+	// surface in /stats at some point while the monitor observes.
+	for !driftSeen {
+		var st Stats
+		getJSON(t, base+"/stats", &st)
+		driftSeen = len(st.Drift) > 0
+		if driftSeen {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("drift statuses never surfaced in /stats")
+		case <-srv.ReplayDone():
+			// Final chance: residual classifications may have landed after
+			// the last poll.
+			getJSON(t, base+"/stats", &st)
+			driftSeen = len(st.Drift) > 0
+			if !driftSeen {
+				t.Fatal("replay ended with no drift statuses in /stats")
+			}
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
 	// With a deliberately hair-trigger drift config the loop may fire more
 	// than once (each equally good replacement re-flags on normal variance)
 	// — what matters is that the daemon moved off v0001 via recorded,

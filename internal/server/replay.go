@@ -16,8 +16,11 @@ import (
 // Source streams timestamped frames into the daemon: a pcap/pcapng replay
 // or synthetic traffic. Next returns io.EOF when the source is exhausted.
 // Sources need not be safe for concurrent use; the replay loop is the only
-// reader. A Source that also implements io.Closer is closed by the Server
-// at shutdown, whether or not the replay reached EOF.
+// reader. Each returned Packet's Data must stay valid across subsequent
+// Next calls — the batched replay loop accumulates up to a batch of
+// packets before the pipeline copies them — so sources must not reuse a
+// read buffer between calls. A Source that also implements io.Closer is
+// closed by the Server at shutdown, whether or not the replay reached EOF.
 type Source interface {
 	Next() (pcap.Packet, error)
 }
@@ -124,19 +127,54 @@ func (s *SynthSource) renderSession() error {
 		return fmt.Errorf("server: rendering session: %w", err)
 	}
 	base := s.start.Add(time.Duration(s.rendered) * 30 * time.Second)
+	n := 0
+	for _, ft := range flows {
+		n += len(ft.Frames)
+	}
+	session := make([]pcap.Packet, 0, n)
 	for _, ft := range flows {
 		for _, fr := range ft.Frames {
-			s.queue = append(s.queue, pcap.Packet{
+			session = append(session, pcap.Packet{
 				Timestamp: base.Add(fr.Offset),
 				Data:      fr.Data,
 				OrigLen:   len(fr.Data),
 			})
 		}
 	}
-	sort.SliceStable(s.queue, func(i, j int) bool {
-		return s.queue[i].Timestamp.Before(s.queue[j].Timestamp)
+	// Sort only the new session, then merge it into the (always-sorted)
+	// queue: a full-queue re-sort per session is quadratic over a long soak
+	// replay. Ties keep queue-before-session and session append order —
+	// exactly what the former sort.SliceStable over the concatenation
+	// produced — so Next() output stays byte-identical for a fixed seed.
+	sort.SliceStable(session, func(i, j int) bool {
+		return session[i].Timestamp.Before(session[j].Timestamp)
 	})
+	s.queue = mergeByTime(s.queue, session)
 	s.rendered++
 	s.sessions--
 	return nil
+}
+
+// mergeByTime merges two timestamp-sorted packet runs, preferring queue on
+// ties so the merge is stable with queue first.
+func mergeByTime(queue, session []pcap.Packet) []pcap.Packet {
+	if len(queue) == 0 {
+		return session
+	}
+	if len(session) == 0 {
+		return queue
+	}
+	out := make([]pcap.Packet, 0, len(queue)+len(session))
+	i, j := 0, 0
+	for i < len(queue) && j < len(session) {
+		if session[j].Timestamp.Before(queue[i].Timestamp) {
+			out = append(out, session[j])
+			j++
+		} else {
+			out = append(out, queue[i])
+			i++
+		}
+	}
+	out = append(out, queue[i:]...)
+	return append(out, session[j:]...)
 }

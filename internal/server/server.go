@@ -7,6 +7,16 @@
 // live counters (/stats), the active flow table (/flows), liveness
 // (/healthz) and Prometheus-style gauges (/metrics).
 //
+// The replay loop reads and dispatches frames in batches
+// (Config.BatchSize) through the pipeline's parse-once ingest path: each
+// frame is decoded exactly once, on the replay goroutine, and shipped with
+// its flow key in a pooled per-batch arena that shard workers recycle
+// after the pipeline consumes it — no re-parse, no per-packet allocation,
+// one channel send per shard per batch. Frames that don't decode to a
+// TCP/UDP 5-tuple are dropped at ingest and surface as ignored_frames in
+// /stats and /metrics, alongside the ingest stall (backpressure) and
+// dropped-result counters.
+//
 // This is the service surface the paper's continuous broadband deployment
 // implies but the batch tools lack; cmd/vpserve is the daemon entrypoint.
 //
@@ -56,8 +66,19 @@ type Config struct {
 	// WindowWidth is the tumbling rollup window width (default 1 minute).
 	WindowWidth time.Duration
 	// Rate paces the replay in packets per wall-clock second (0 = as fast
-	// as possible).
+	// as possible). Pacing is applied per batch, so the burst granularity
+	// is min(BatchSize, Rate/20) packets.
 	Rate float64
+	// BatchSize is how many frames the replay loop reads from the source
+	// and dispatches per pipeline batch (default 64; 1 degenerates to
+	// per-packet dispatch).
+	BatchSize int
+	// ShardQueueDepth is the per-shard ingest inbox depth in batch
+	// messages (0 = pipeline default).
+	ShardQueueDepth int
+	// ResultsBuffer is the classified-results channel capacity
+	// (0 = pipeline default, scaled by shard count).
+	ResultsBuffer int
 	// Sink receives sealed rollup windows (nil = discard).
 	Sink telemetry.Sink
 
@@ -96,6 +117,9 @@ func (c *Config) fillDefaults() {
 	if c.WindowWidth <= 0 {
 		c.WindowWidth = time.Minute
 	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
 }
 
 // Server is the streaming ingest daemon. Create with New, start with Run.
@@ -109,6 +133,7 @@ type Server struct {
 
 	startWall  time.Time
 	packets    atomic.Uint64
+	batches    atomic.Uint64
 	bytes      atomic.Uint64
 	classified atomic.Uint64
 	unknown    atomic.Uint64
@@ -144,9 +169,13 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		byProvider: map[string]uint64{},
 	}
 
-	pcfg := pipeline.Config{OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
-		s.evictions <- rec
-	}}
+	pcfg := pipeline.Config{
+		ShardQueueDepth: cfg.ShardQueueDepth,
+		ResultsBuffer:   cfg.ResultsBuffer,
+		OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
+			s.evictions <- rec
+		},
+	}
 	if cfg.Drift != nil || cfg.Retrainer != nil {
 		// One hook covers both consumers: the drift monitor sees the
 		// complete classification stream, and the retrainer's shadow
@@ -292,14 +321,18 @@ func (s *Server) finishPipeline() {
 	s.mu.Unlock()
 }
 
-// replay streams the source through the sharded pipeline, pacing to
-// cfg.Rate packets/sec when set.
+// replay streams the source through the sharded pipeline in batches of up
+// to cfg.BatchSize frames, pacing to cfg.Rate packets/sec when set. Each
+// batch is one HandlePacketBatch call — one decode per frame on this
+// goroutine and one channel send per shard, the parse-once ingest contract.
 func (s *Server) replay(ctx context.Context) {
 	defer close(s.replayDone)
 	var interval time.Duration
 	if s.cfg.Rate > 0 {
 		interval = time.Duration(float64(time.Second) / s.cfg.Rate)
 	}
+	size := s.effectiveBatchSize()
+	batch := make([]pipeline.IngestPacket, 0, size)
 	next := time.Now()
 	for {
 		select {
@@ -307,23 +340,35 @@ func (s *Server) replay(ctx context.Context) {
 			return
 		default:
 		}
-		pkt, err := s.src.Next()
-		if err != nil {
-			if err != io.EOF {
+		batch = batch[:0]
+		var srcErr error
+		for len(batch) < size {
+			pkt, err := s.src.Next()
+			if err != nil {
+				srcErr = err
+				break
+			}
+			batch = append(batch, pipeline.IngestPacket{TS: pkt.Timestamp, Data: pkt.Data})
+			s.bytes.Add(uint64(len(pkt.Data)))
+			if ns := pkt.Timestamp.UnixNano(); ns > s.lastTS.Load() {
+				s.lastTS.Store(ns)
+			}
+		}
+		if len(batch) > 0 {
+			s.sharded.HandlePacketBatch(batch)
+			s.packets.Add(uint64(len(batch)))
+			s.batches.Add(1)
+		}
+		if srcErr != nil {
+			if srcErr != io.EOF {
 				s.mu.Lock()
-				s.replayErr = err
+				s.replayErr = srcErr
 				s.mu.Unlock()
 			}
 			return
 		}
-		s.sharded.HandlePacket(pkt.Timestamp, pkt.Data)
-		s.packets.Add(1)
-		s.bytes.Add(uint64(len(pkt.Data)))
-		if ns := pkt.Timestamp.UnixNano(); ns > s.lastTS.Load() {
-			s.lastTS.Store(ns)
-		}
 		if interval > 0 {
-			next = next.Add(interval)
+			next = next.Add(interval * time.Duration(len(batch)))
 			if wait := time.Until(next); wait > 0 {
 				select {
 				case <-time.After(wait):
@@ -335,6 +380,19 @@ func (s *Server) replay(ctx context.Context) {
 			}
 		}
 	}
+}
+
+// effectiveBatchSize is the frames-per-batch the replay loop actually uses:
+// cfg.BatchSize, capped for rate-limited replays so a batch bursts at most
+// ~50ms of the pacing budget at a time, keeping low rates smooth.
+func (s *Server) effectiveBatchSize() int {
+	size := s.cfg.BatchSize
+	if s.cfg.Rate > 0 {
+		if perTick := int(s.cfg.Rate / 20); perTick < size {
+			size = max(perTick, 1)
+		}
+	}
+	return size
 }
 
 // aggregate consumes classification results (live counters) and evicted
@@ -388,6 +446,24 @@ type Stats struct {
 	FlowTable      flowtable.Stats `json:"flow_table"`
 	DroppedResults uint64          `json:"dropped_results"`
 
+	// Ingest reports the batched parse-once ingest path's counters.
+	Ingest struct {
+		// BatchSize is the effective frames-per-batch of the replay loop
+		// (the configured size, capped for rate-limited replays).
+		BatchSize int `json:"batch_size"`
+		// Batches counts dispatched ingest batches.
+		Batches uint64 `json:"batches"`
+		// IgnoredFrames counts frames dropped at ingest (failed to parse
+		// or not TCP/UDP — no flow to route).
+		IgnoredFrames uint64 `json:"ignored_frames"`
+		// FilteredFrames counts decodable flows dropped at ingest by the
+		// port-443 video filter.
+		FilteredFrames uint64 `json:"filtered_frames"`
+		// Stalls counts ingest submissions that blocked on a full shard
+		// inbox (backpressure, not loss).
+		Stalls uint64 `json:"stalls"`
+	} `json:"ingest"`
+
 	ClassifiedFlows uint64            `json:"classified_flows"`
 	UnknownFlows    uint64            `json:"unknown_flows"`
 	FinalizedFlows  uint64            `json:"finalized_flows"`
@@ -436,7 +512,13 @@ func (s *Server) Snapshot() Stats {
 	default:
 	}
 	st.FlowTable = s.sharded.TableStats()
-	st.DroppedResults = s.sharded.Dropped()
+	ing := s.sharded.IngestStats()
+	st.DroppedResults = ing.DroppedResults
+	st.Ingest.BatchSize = s.effectiveBatchSize()
+	st.Ingest.Batches = s.batches.Load()
+	st.Ingest.IgnoredFrames = ing.Ignored
+	st.Ingest.FilteredFrames = ing.Filtered
+	st.Ingest.Stalls = ing.Stalls
 	st.ClassifiedFlows = s.classified.Load()
 	st.UnknownFlows = s.unknown.Load()
 	st.FinalizedFlows = s.finalized.Load()
@@ -581,6 +663,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("videoplat_flows_unknown_total", "counter", "Flows rejected by the confidence selector.", float64(st.UnknownFlows))
 	metric("videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", float64(st.FinalizedFlows))
 	metric("videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", float64(st.DroppedResults))
+	metric("videoplat_ingest_batches_total", "counter", "Frame batches dispatched to the pipeline.", float64(st.Ingest.Batches))
+	metric("videoplat_ingest_frames_ignored_total", "counter", "Frames dropped at ingest (unparseable or non-TCP/UDP).", float64(st.Ingest.IgnoredFrames))
+	metric("videoplat_ingest_frames_filtered_total", "counter", "Decodable flows dropped at ingest by the port-443 video filter.", float64(st.Ingest.FilteredFrames))
+	metric("videoplat_ingest_stalls_total", "counter", "Ingest submissions that blocked on a full shard inbox.", float64(st.Ingest.Stalls))
 	metric("videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", float64(st.Rollup.Sealed))
 	b = append(b, "# HELP videoplat_model_active_info Active model bank version (value is always 1).\n# TYPE videoplat_model_active_info gauge\n"...)
 	b = append(b, fmt.Sprintf("videoplat_model_active_info{version=%q} 1\n", st.Models.ActiveVersion)...)

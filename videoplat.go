@@ -106,8 +106,20 @@ type (
 	// ForestConfig holds the random-forest hyperparameters.
 	ForestConfig = ml.ForestConfig
 
-	// PipelineConfig bounds a pipeline's flow table for long-running use.
+	// PipelineConfig bounds a pipeline's flow table for long-running use
+	// and sizes a sharded pipeline's queues (ShardQueueDepth,
+	// ResultsBuffer).
 	PipelineConfig = pipeline.Config
+	// ShardedPipeline fans packets across per-shard Pipelines by flow
+	// hash, parsing each frame exactly once at ingest — the multi-queue
+	// deployment shape of the paper's §4.3.3 prototype.
+	ShardedPipeline = pipeline.Sharded
+	// IngestPacket is one timestamped frame for the batched ingest path
+	// (ShardedPipeline.HandlePacketBatch).
+	IngestPacket = pipeline.IngestPacket
+	// IngestStats are the ingest-path counters: frames ignored at ingest,
+	// best-effort results dropped, and backpressure stalls.
+	IngestStats = pipeline.IngestStats
 	// FlowTableStats are a bounded flow table's occupancy/eviction counters.
 	FlowTableStats = flowtable.Stats
 	// Rollup maintains tumbling telemetry windows over finalized flows.
@@ -202,6 +214,16 @@ func NewAggregator(days float64) *Aggregator { return &Aggregator{Days: days} }
 // with traffic.
 func NewBoundedPipeline(bank *Bank, cfg PipelineConfig) *Pipeline {
 	return pipeline.NewWithConfig(bank, cfg)
+}
+
+// NewShardedPipeline starts n shard workers over a trained bank, each with
+// its own cfg-bounded flow table. Feed frames from one ingest goroutine
+// with HandlePacket or, for high rates, HandlePacketBatch — each frame is
+// parsed exactly once at ingest, buffers are pooled, and a batch costs at
+// most one channel send per shard. Classified flows arrive on Results()
+// (best-effort; see the Sharded type docs), and Close drains the workers.
+func NewShardedPipeline(bank *Bank, n int, cfg PipelineConfig) *ShardedPipeline {
+	return pipeline.NewShardedWithConfig(bank, n, cfg)
 }
 
 // NewRollup returns a windowed rollup engine retiring sealed windows of the
