@@ -350,6 +350,63 @@ func BenchmarkClassifyFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkClassify measures the steady-state per-flow classification path
+// (assemble -> extract -> encode -> predict): the "flow" variants run a
+// complete flow through the streaming pipeline per iteration, so allocs/op
+// is the allocation cost of classifying one flow; the "encode-predict"
+// variants isolate the compiled fast path over an assembled handshake,
+// which must stay at 0 allocs/op.
+func BenchmarkClassify(b *testing.B) {
+	bank := trainedBank(b)
+	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	for _, tc := range []struct {
+		name string
+		tr   fingerprint.Transport
+	}{
+		{"tcp", fingerprint.TCP},
+		{"quic", fingerprint.QUIC},
+	} {
+		ft, err := tracegen.New(7).Flow("windows_chrome", fingerprint.YouTube, tc.tr,
+			tracegen.FlowSpec{Start: start, PayloadFrames: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		info, err := pipeline.ExtractTrace(ft)
+		if err != nil {
+			b.Fatal(err)
+		}
+
+		b.Run("flow/"+tc.name, func(b *testing.B) {
+			p := videoplat.NewPipeline(bank)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, fr := range ft.Frames {
+					if _, err := p.HandlePacket(start, fr.Data); err != nil {
+						b.Fatal(err)
+					}
+				}
+				p.Reset()
+			}
+		})
+		b.Run("encode-predict/"+tc.name, func(b *testing.B) {
+			var sc pipeline.ClassifyScratch
+			// Warm the lazily built model index and scratch capacities so
+			// the timed region is pure steady state (0 allocs/op).
+			if _, err := bank.ClassifyHandshake(fingerprint.YouTube, tc.tr, info, &sc); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bank.ClassifyHandshake(fingerprint.YouTube, tc.tr, info, &sc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkConcurrentFlows models the paper's 1000-concurrent-flow load:
 // interleaved handshakes across many simultaneous flows.
 func BenchmarkConcurrentFlows(b *testing.B) {

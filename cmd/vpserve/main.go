@@ -54,6 +54,7 @@ func main() {
 		batchSize    = flag.Int("batch-size", 0, "frames read and dispatched per ingest batch (0 = default 64)")
 		shardQueue   = flag.Int("shard-queue", 0, "per-shard ingest inbox depth in batches (0 = default 64)")
 		resultsBuf   = flag.Int("results-buffer", 0, "classified-results channel capacity (0 = 64 per shard)")
+		maxHello     = flag.Int("max-hello-bytes", 0, "per-flow buffered handshake byte cap (0 = default 64KiB, <0 = unbounded); oversized flows are abandoned and counted")
 		maxFlows     = flag.Int("max-flows", 65536, "flow-table cap across shards (<0 = unbounded)")
 		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
 		window       = flag.Duration("window", time.Minute, "rollup window width")
@@ -159,6 +160,7 @@ func main() {
 		BatchSize:       *batchSize,
 		ShardQueueDepth: *shardQueue,
 		ResultsBuffer:   *resultsBuf,
+		MaxHelloBytes:   *maxHello,
 		Sink:            sink,
 		Registry:        reg,
 		Drift:           mon,

@@ -1,0 +1,541 @@
+package features
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+	"videoplat/internal/wire"
+)
+
+// CompiledEncoder is a fitted Encoder lowered into a dense slot table for
+// the serving path. Where Extract+Transform materialize every Table 2 field
+// as string tokens in three maps and then resolve them through per-attribute
+// string vocabularies, the compiled form resolves raw wire values —
+// cipher-suite uint16s, extension ids, QUIC transport-parameter ids, raw
+// extension bytes — through interned lookup tables built once at compile
+// time, and writes the encoded vector straight into a caller-owned
+// []float64. EncodeInto(dst, info, sc) is element-identical to
+// Transform(ExtractWithOptions(info, opts)) for every handshake (pinned by
+// the golden-equivalence tests).
+//
+// A CompiledEncoder is immutable after Compile and safe for concurrent use;
+// per-call mutable state lives in the caller's EncodeScratch.
+type CompiledEncoder struct {
+	opts  Options
+	width int
+	attrs []compiledAttr
+	// quicAttrs reports whether any attribute reads QUIC transport
+	// parameters, so TCP-schema encoders never resolve them.
+	quicAttrs bool
+}
+
+// EncodeScratch holds the per-caller mutable state EncodeInto needs to run
+// allocation-free: reusable buffers for extension-list walking and token
+// rendering. One scratch per goroutine; the zero value is ready to use.
+type EncodeScratch struct {
+	u16  []uint16
+	alpn [][]byte
+	tok  []byte
+}
+
+// slot-writer opcodes; one per distinct extraction routine.
+type compiledOp uint8
+
+const (
+	opInitPacketSize compiledOp = iota
+	opTTL
+	opTCPFlag
+	opTCPWindow
+	opTCPMSS
+	opTCPWScale
+	opTCPSACK
+	opHandshakeLength
+	opLegacyVersion
+	opCipherSuites
+	opCompressionLen
+	opExtensionsLength
+	opExtTypes
+	opExtLen
+	opStatusRequest
+	opU16List
+	opU8BytesCat
+	opALPN
+	opPresence
+	opCompressCert
+	opRecordSizeLimit
+	opSupportedVersions
+	opKeyShare
+	opQParamIDs
+	opQUint
+	opQPresence
+	opQLen
+	opQCat
+)
+
+// compiledAttr is one Table 2 attribute lowered to an opcode plus the
+// interned lookup tables its tokens resolve through.
+type compiledAttr struct {
+	op    compiledOp
+	col   int // first output column
+	width int // expanded columns (list width, else 1)
+	bit   uint8
+	ext   uint16 // TLS extension type, for ext-sourced ops
+	param uint64 // QUIC transport-parameter id, for q-ops
+
+	u16        map[uint16]int // raw uint16 -> 1-based vocab id
+	u64        map[uint64]int // raw param id -> vocab id (q1)
+	u8         map[uint8]int  // status_request type -> vocab id
+	str        map[string]int // raw bytes or rendered token -> vocab id
+	grease     int            // vocab id of the collapsed GREASE token (0 if unseen)
+	keepGrease bool           // the ablation: raw GREASE values resolve like any other
+}
+
+// Compile lowers a fitted encoder into its serving-path form with default
+// extraction options (the paper's configuration, and what the pipeline's
+// Extract uses). It fails only for attribute labels this build does not know
+// how to lower, so callers can fall back to Extract+Transform.
+func Compile(e *Encoder) (*CompiledEncoder, error) {
+	return CompileWithOptions(e, Options{})
+}
+
+// CompileWithOptions is Compile for a non-default extraction configuration
+// (e.g. the KeepGrease ablation). The compiled encoder is equivalent to
+// Transform∘ExtractWithOptions for the same Options value.
+func CompileWithOptions(e *Encoder, o Options) (*CompiledEncoder, error) {
+	ce := &CompiledEncoder{opts: o}
+	col := 0
+	for _, a := range e.Attrs {
+		ca := compiledAttr{col: col, width: 1, keepGrease: o.KeepGrease}
+		if a.Kind == List {
+			ca.width = a.Width
+		}
+		col += ca.width
+		if err := lowerAttr(&ca, a); err != nil {
+			return nil, err
+		}
+		buildTables(&ca, a, e.vocabs[a.Label])
+		switch ca.op {
+		case opQParamIDs, opQUint, opQPresence, opQLen, opQCat:
+			ce.quicAttrs = true
+		}
+		ce.attrs = append(ce.attrs, ca)
+	}
+	ce.width = col
+	return ce, nil
+}
+
+// lowerAttr maps a Table 2 label to its opcode and wire source.
+func lowerAttr(ca *compiledAttr, a Attribute) error {
+	switch a.Label {
+	case "t1":
+		ca.op = opInitPacketSize
+	case "t2":
+		ca.op = opTTL
+	case "t3", "t4", "t5", "t6", "t7", "t8", "t9", "t10":
+		ca.op = opTCPFlag
+		n, _ := strconv.Atoi(a.Label[1:])
+		ca.bit = 1 << (10 - n) // t3 = bit 7 (CWR) ... t10 = bit 0 (FIN)
+	case "t11":
+		ca.op = opTCPWindow
+	case "t12":
+		ca.op = opTCPMSS
+	case "t13":
+		ca.op = opTCPWScale
+	case "t14":
+		ca.op = opTCPSACK
+	case "m1":
+		ca.op = opHandshakeLength
+	case "m2":
+		ca.op = opLegacyVersion
+	case "m3":
+		ca.op = opCipherSuites
+	case "m4":
+		ca.op = opCompressionLen
+	case "m5":
+		ca.op = opExtensionsLength
+	case "o1":
+		ca.op = opExtTypes
+	case "o2":
+		ca.op, ca.ext = opExtLen, tlsproto.ExtServerName
+	case "o3":
+		ca.op = opStatusRequest
+	case "o4":
+		ca.op, ca.ext = opU16List, tlsproto.ExtSupportedGroups
+	case "o5":
+		ca.op, ca.ext = opU8BytesCat, tlsproto.ExtECPointFormats
+	case "o6":
+		ca.op, ca.ext = opU16List, tlsproto.ExtSignatureAlgorithms
+	case "o7":
+		ca.op, ca.ext = opALPN, tlsproto.ExtALPN
+	case "o8":
+		ca.op, ca.ext = opExtLen, tlsproto.ExtSCT
+	case "o9":
+		ca.op, ca.ext = opExtLen, tlsproto.ExtPadding
+	case "o10":
+		ca.op, ca.ext = opPresence, tlsproto.ExtEncryptThenMac
+	case "o11":
+		ca.op, ca.ext = opPresence, tlsproto.ExtExtendedMasterSecret
+	case "o12":
+		ca.op = opCompressCert
+	case "o13":
+		ca.op = opRecordSizeLimit
+	case "o14":
+		ca.op, ca.ext = opU16List, tlsproto.ExtDelegatedCredentials
+	case "o15":
+		ca.op, ca.ext = opExtLen, tlsproto.ExtSessionTicket
+	case "o16":
+		ca.op, ca.ext = opPresence, tlsproto.ExtPreSharedKey
+	case "o17":
+		ca.op, ca.ext = opExtLen, tlsproto.ExtEarlyData
+	case "o18":
+		ca.op = opSupportedVersions
+	case "o19":
+		ca.op, ca.ext = opU8BytesCat, tlsproto.ExtPSKKeyExchangeModes
+	case "o20":
+		ca.op, ca.ext = opPresence, tlsproto.ExtPostHandshakeAuth
+	case "o21":
+		ca.op = opKeyShare
+	case "o22":
+		ca.op, ca.ext = opALPN, tlsproto.ExtApplicationSettings
+	case "o23":
+		ca.op, ca.ext = opPresence, tlsproto.ExtRenegotiationInfo
+	case "q1":
+		ca.op = opQParamIDs
+	case "q2":
+		ca.op, ca.param = opQUint, quicproto.ParamMaxIdleTimeout
+	case "q3":
+		ca.op, ca.param = opQUint, quicproto.ParamMaxUDPPayloadSize
+	case "q4":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxData
+	case "q5":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxStreamDataBidiLocal
+	case "q6":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxStreamDataBidiRemote
+	case "q7":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxStreamDataUni
+	case "q8":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxStreamsBidi
+	case "q9":
+		ca.op, ca.param = opQUint, quicproto.ParamInitialMaxStreamsUni
+	case "q10":
+		ca.op, ca.param = opQUint, quicproto.ParamMaxAckDelay
+	case "q11":
+		ca.op, ca.param = opQPresence, quicproto.ParamDisableActiveMigration
+	case "q12":
+		ca.op, ca.param = opQUint, quicproto.ParamActiveConnectionIDLimit
+	case "q13":
+		ca.op, ca.param = opQLen, quicproto.ParamInitialSourceConnectionID
+	case "q14":
+		ca.op, ca.param = opQUint, quicproto.ParamMaxDatagramFrameSize
+	case "q15":
+		ca.op, ca.param = opQPresence, quicproto.ParamGreaseQuicBit
+	case "q16":
+		ca.op, ca.param = opQPresence, quicproto.ParamInitialRTT
+	case "q17":
+		ca.op, ca.param = opQCat, quicproto.ParamGoogleConnectionOptions
+	case "q18":
+		ca.op, ca.param = opQCat, quicproto.ParamUserAgent
+	case "q19":
+		ca.op, ca.param = opQCat, quicproto.ParamGoogleVersion
+	case "q20":
+		ca.op, ca.param = opQCat, quicproto.ParamVersionInformation
+	default:
+		return fmt.Errorf("features: cannot compile attribute %q", a.Label)
+	}
+	return nil
+}
+
+// buildTables interns an attribute's fitted vocabulary as raw-wire-value
+// lookup tables. Tokens that no serving-side extraction could ever produce
+// (non-canonical hex spellings, odd-length hex) are dropped: Transform
+// could never match them either, so the miss-to-zero behaviour is identical.
+func buildTables(ca *compiledAttr, a Attribute, vocab map[string]int) {
+	switch ca.op {
+	case opLegacyVersion, opCipherSuites, opExtTypes, opU16List,
+		opSupportedVersions, opKeyShare:
+		ca.u16 = make(map[uint16]int, len(vocab))
+		for tok, id := range vocab {
+			if tok == greaseToken {
+				ca.grease = id
+				continue
+			}
+			if v, ok := parseHexToken(tok, 16); ok {
+				ca.u16[uint16(v)] = id
+			}
+		}
+	case opQParamIDs:
+		ca.u64 = make(map[uint64]int, len(vocab))
+		for tok, id := range vocab {
+			if tok == greaseToken {
+				ca.grease = id
+				continue
+			}
+			if v, ok := parseHexToken(tok, 64); ok {
+				ca.u64[v] = id
+			}
+		}
+	case opStatusRequest:
+		ca.u8 = make(map[uint8]int, len(vocab))
+		for tok, id := range vocab {
+			n, err := strconv.Atoi(tok)
+			if err == nil && n >= 0 && n <= 255 && strconv.Itoa(n) == tok {
+				ca.u8[uint8(n)] = id
+			}
+		}
+	case opU8BytesCat, opQCat:
+		ca.str = make(map[string]int, len(vocab))
+		hexKeyed := ca.op == opU8BytesCat || ca.param == quicproto.ParamVersionInformation
+		for tok, id := range vocab {
+			if hexKeyed {
+				// bytesToken renders raw bytes as lowercase hex; key the
+				// table on the decoded bytes so lookups skip the render.
+				raw, err := hex.DecodeString(tok)
+				if err == nil && hex.EncodeToString(raw) == tok {
+					ca.str[string(raw)] = id
+				}
+				continue
+			}
+			ca.str[tok] = id
+		}
+	case opALPN, opCompressCert:
+		ca.str = make(map[string]int, len(vocab))
+		for tok, id := range vocab {
+			ca.str[tok] = id
+		}
+	}
+}
+
+// parseHexToken inverts the "0x%x" token rendering, rejecting spellings the
+// renderer could never emit (uppercase, leading zeros, overflow).
+func parseHexToken(tok string, bits int) (uint64, bool) {
+	if !strings.HasPrefix(tok, "0x") {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(tok[2:], 16, bits)
+	if err != nil || strconv.FormatUint(v, 16) != tok[2:] {
+		return 0, false
+	}
+	return v, true
+}
+
+// Width returns the encoded vector width.
+func (ce *CompiledEncoder) Width() int { return ce.width }
+
+// Encode is EncodeInto with a freshly allocated vector and scratch, for
+// callers off the hot path.
+func (ce *CompiledEncoder) Encode(info *HandshakeInfo) []float64 {
+	var sc EncodeScratch
+	return ce.EncodeInto(nil, info, &sc)
+}
+
+// EncodeInto encodes a handshake directly into dst, reusing its capacity,
+// and returns the width-long vector. The result is element-identical to
+// Transform(ExtractWithOptions(info, opts)) on the encoder this was compiled
+// from. sc provides the per-caller buffers that keep the steady state
+// allocation-free; nil sc allocates a temporary one.
+func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *EncodeScratch) []float64 {
+	if sc == nil {
+		sc = &EncodeScratch{}
+	}
+	if cap(dst) < ce.width {
+		dst = make([]float64, ce.width)
+	} else {
+		dst = dst[:ce.width]
+		clear(dst)
+	}
+
+	ch := info.Hello
+	var tp *quicproto.TransportParameters
+	if info.QUIC && ce.quicAttrs {
+		// Mirrors extractQUIC's lazy parse; the pipeline's assembler
+		// pre-populates Params so this branch never allocates when serving.
+		tp = info.Params
+		if tp == nil && ch != nil {
+			if e, ok := ch.Extension(tlsproto.ExtQUICTransportParams); ok {
+				tp, _ = quicproto.ParseTransportParameters(e.Data)
+			}
+		}
+	}
+
+	for i := range ce.attrs {
+		ca := &ce.attrs[i]
+		switch ca.op {
+		case opInitPacketSize:
+			dst[ca.col] = float64(info.InitPacketSize)
+		case opTTL:
+			dst[ca.col] = float64(info.TTL)
+		case opTCPFlag:
+			if !info.QUIC && info.TCPFlags&ca.bit != 0 {
+				dst[ca.col] = 1
+			}
+		case opTCPWindow:
+			if !info.QUIC {
+				dst[ca.col] = float64(info.TCPWindow)
+			}
+		case opTCPMSS:
+			if !info.QUIC {
+				dst[ca.col] = float64(info.TCPMSS)
+			}
+		case opTCPWScale:
+			if !info.QUIC && info.TCPWScale >= 0 {
+				dst[ca.col] = float64(info.TCPWScale)
+			}
+		case opTCPSACK:
+			if !info.QUIC && info.TCPSACK {
+				dst[ca.col] = 1
+			}
+		}
+		if ch == nil {
+			continue // hello-sourced slots stay zero, as in Extract
+		}
+		switch ca.op {
+		case opHandshakeLength:
+			dst[ca.col] = float64(ch.HandshakeLength)
+		case opLegacyVersion:
+			dst[ca.col] = float64(ca.u16[ch.LegacyVersion])
+		case opCipherSuites:
+			for i, s := range ch.CipherSuites {
+				if i >= ca.width {
+					break
+				}
+				dst[ca.col+i] = float64(ca.u16ID(s))
+			}
+		case opCompressionLen:
+			dst[ca.col] = lengthValue(len(ch.CompressionMethods))
+		case opExtensionsLength:
+			dst[ca.col] = float64(ch.ExtensionsLength)
+		case opExtTypes:
+			for i := range ch.Extensions {
+				if i >= ca.width {
+					break
+				}
+				dst[ca.col+i] = float64(ca.u16ID(ch.Extensions[i].Type))
+			}
+		case opExtLen:
+			dst[ca.col] = lengthValue(ch.ExtensionLen(ca.ext))
+		case opStatusRequest:
+			if t := ch.StatusRequestType(); t != 0 {
+				dst[ca.col] = float64(ca.u8[t])
+			}
+		case opU16List:
+			sc.u16 = ch.AppendUint16List(ca.ext, sc.u16[:0])
+			ca.writeU16List(dst, sc.u16)
+		case opSupportedVersions:
+			sc.u16 = ch.AppendSupportedVersions(sc.u16[:0])
+			ca.writeU16List(dst, sc.u16)
+		case opKeyShare:
+			sc.u16 = ch.AppendKeyShareGroups(sc.u16[:0])
+			ca.writeU16List(dst, sc.u16)
+		case opU8BytesCat:
+			if b := ch.U8PrefixedBytes(ca.ext); b != nil {
+				dst[ca.col] = float64(ca.str[string(b)])
+			}
+		case opALPN:
+			// The map index converts the aliased wire bytes in place — no
+			// string is materialized.
+			sc.alpn = ch.AppendALPN(ca.ext, sc.alpn[:0])
+			for i, name := range sc.alpn {
+				if i >= ca.width {
+					break
+				}
+				dst[ca.col+i] = float64(ca.str[string(name)])
+			}
+		case opPresence:
+			if ch.HasExtension(ca.ext) {
+				dst[ca.col] = 1
+			}
+		case opCompressCert:
+			sc.u16 = ch.AppendCompressCertAlgorithms(sc.u16[:0])
+			if len(sc.u16) > 0 {
+				sc.tok = appendCompressToken(sc.tok[:0], sc.u16)
+				dst[ca.col] = float64(ca.str[string(sc.tok)])
+			}
+		case opRecordSizeLimit:
+			if lim := ch.RecordSizeLimit(); lim > 0 {
+				dst[ca.col] = float64(lim)
+			}
+		case opQParamIDs:
+			if tp == nil {
+				break
+			}
+			for i := range tp.Params {
+				if i >= ca.width {
+					break
+				}
+				id := tp.Params[i].ID
+				if !ce.opts.KeepGrease && wire.GreaseTransportParam(id) {
+					dst[ca.col+i] = float64(ca.grease)
+				} else {
+					dst[ca.col+i] = float64(ca.u64[id])
+				}
+			}
+		case opQUint:
+			if tp == nil {
+				break
+			}
+			if v, ok := tp.Uint(ca.param); ok {
+				dst[ca.col] = float64(v)
+			}
+		case opQPresence:
+			if tp != nil && tp.Has(ca.param) {
+				dst[ca.col] = 1
+			}
+		case opQLen:
+			if tp != nil {
+				dst[ca.col] = lengthValue(tp.ValueLen(ca.param))
+			}
+		case opQCat:
+			if tp == nil {
+				break
+			}
+			if p, ok := tp.Get(ca.param); ok {
+				dst[ca.col] = float64(ca.str[string(p.Value)])
+			}
+		}
+	}
+	return dst
+}
+
+// u16ID resolves one uint16 wire value through the interned vocabulary,
+// collapsing GREASE exactly as Options.suiteToken does.
+func (ca *compiledAttr) u16ID(v uint16) int {
+	if !ca.keepGrease && wire.IsGrease(v) {
+		return ca.grease
+	}
+	return ca.u16[v]
+}
+
+func (ca *compiledAttr) writeU16List(dst []float64, vals []uint16) {
+	for i, v := range vals {
+		if i >= ca.width {
+			return
+		}
+		dst[ca.col+i] = float64(ca.u16ID(v))
+	}
+}
+
+// appendCompressToken renders the o12 certificate-compression token exactly
+// as compressToken does, into a reusable buffer.
+func appendCompressToken(tok []byte, algs []uint16) []byte {
+	for i, a := range algs {
+		if i > 0 {
+			tok = append(tok, ',')
+		}
+		switch a {
+		case 1:
+			tok = append(tok, "zlib"...)
+		case 2:
+			tok = append(tok, "brotli"...)
+		case 3:
+			tok = append(tok, "zstd"...)
+		default:
+			tok = append(tok, "0x"...)
+			tok = strconv.AppendUint(tok, uint64(a), 16)
+		}
+	}
+	return tok
+}

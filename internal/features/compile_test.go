@@ -1,0 +1,235 @@
+package features
+
+import (
+	"fmt"
+	"testing"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
+)
+
+// genInfos renders a spread of handshakes across platforms, providers and
+// transports, several random draws each — GREASE draws, per-platform
+// extension sets, QUIC transport parameters all vary.
+func genInfos(t *testing.T, tr fingerprint.Transport, seeds ...uint64) []*HandshakeInfo {
+	t.Helper()
+	var infos []*HandshakeInfo
+	for _, seed := range seeds {
+		rng := newRng(seed)
+		for _, label := range fingerprint.AllPlatformLabels() {
+			for _, prov := range fingerprint.AllProviders() {
+				if !fingerprint.SupportMatrix(label, prov) {
+					continue
+				}
+				if tr == fingerprint.TCP && !fingerprint.SupportsTCP(label, prov) {
+					continue
+				}
+				if tr == fingerprint.QUIC && !fingerprint.SupportsQUIC(label, prov) {
+					continue
+				}
+				f, err := fingerprint.Generate(rng, label, prov, tr, fingerprint.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				infos = append(infos, infoFromFingerprint(f))
+			}
+		}
+	}
+	return infos
+}
+
+// edgeInfos are the hand-built corner cases: no hello at all, a minimal
+// hello with every optional extension absent, and a hello stuffed with
+// values no vocabulary has seen.
+func edgeInfos() []*HandshakeInfo {
+	minimal := &tlsproto.ClientHello{LegacyVersion: tlsproto.VersionTLS12,
+		CipherSuites: []uint16{0x1301}, CompressionMethods: []byte{0}}
+	minimal.Marshal()
+
+	odd := &tlsproto.ClientHello{LegacyVersion: 0x0399, // unseen version token
+		CipherSuites:       []uint16{0x8a8a, 0xbeef, 0x1302}, // GREASE + unseen
+		CompressionMethods: []byte{0},
+		Extensions: []tlsproto.Extension{
+			{Type: tlsproto.ExtSessionTicket, Data: nil},       // empty-present length attr
+			{Type: tlsproto.ExtStatusRequest, Data: []byte{7}}, // unseen status type
+			{Type: tlsproto.ExtECPointFormats, Data: []byte{2, 0, 1}},
+			{Type: tlsproto.ExtCompressCertificate, Data: []byte{4, 0, 2, 0, 99}}, // brotli + unknown algo
+			{Type: tlsproto.ExtRecordSizeLimit, Data: []byte{0x3f, 0xff}},
+			{Type: tlsproto.ExtALPN, Data: []byte{0, 6, 2, 'h', '2', 2, 'x', 'y'}},
+			{Type: tlsproto.ExtSupportedGroups, Data: []byte{0, 4, 0xfa, 0xfa, 0x00, 0x1d}}, // GREASE group
+			{Type: 0xdada, Data: nil},                                                       // GREASE extension type
+		}}
+	odd.Marshal()
+
+	truncated := &tlsproto.ClientHello{LegacyVersion: tlsproto.VersionTLS12,
+		CipherSuites: []uint16{0x1301}, CompressionMethods: []byte{0},
+		Extensions: []tlsproto.Extension{
+			// Malformed list bodies: length prefix larger than the data.
+			{Type: tlsproto.ExtSupportedGroups, Data: []byte{0xff, 0xff, 0x00}},
+			{Type: tlsproto.ExtALPN, Data: []byte{0xff}},
+		}}
+	truncated.Marshal()
+
+	return []*HandshakeInfo{
+		{InitPacketSize: 60, TTL: 64, TCPFlags: 0x02, TCPWindow: 1024, TCPMSS: 1460, TCPWScale: -1},
+		{InitPacketSize: 66, TTL: 57, TCPFlags: 0xc2, TCPWindow: 65535, TCPMSS: 1400, TCPWScale: 8, TCPSACK: true, Hello: minimal},
+		{InitPacketSize: 80, TTL: 128, TCPWScale: -1, Hello: odd},
+		{InitPacketSize: 81, TTL: 128, TCPWScale: -1, Hello: truncated},
+	}
+}
+
+func checkEqual(t *testing.T, enc *Encoder, ce *CompiledEncoder, info *HandshakeInfo, o Options, tag string) {
+	t.Helper()
+	want := enc.Transform(ExtractWithOptions(info, o))
+	got := ce.EncodeInto(nil, info, nil)
+	if len(want) != len(got) {
+		t.Fatalf("%s: width %d vs %d", tag, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: column %d (%s): compiled %v, reference %v",
+				tag, i, enc.Columns()[i].Name, got[i], want[i])
+		}
+	}
+}
+
+func TestCompiledEncoderMatchesTransform(t *testing.T) {
+	tcpTrain := genInfos(t, fingerprint.TCP, 1, 2)
+	quicTrain := genInfos(t, fingerprint.QUIC, 3, 4)
+	// Evaluation handshakes deliberately include draws the vocabularies
+	// never saw (fresh seeds) plus the hand-built corner cases.
+	tcpEval := append(genInfos(t, fingerprint.TCP, 77), edgeInfos()...)
+	quicEval := append(genInfos(t, fingerprint.QUIC, 78), edgeInfos()...)
+
+	fit := func(quic bool, train []*HandshakeInfo, subset []string, o Options) (*Encoder, *CompiledEncoder) {
+		t.Helper()
+		enc, err := NewEncoder(quic, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var samples []*FieldValues
+		for _, info := range train {
+			samples = append(samples, ExtractWithOptions(info, o))
+		}
+		enc.Fit(samples)
+		ce, err := CompileWithOptions(enc, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ce.Width() != enc.Width() {
+			t.Fatalf("compiled width %d != encoder width %d", ce.Width(), enc.Width())
+		}
+		return enc, ce
+	}
+
+	for _, tc := range []struct {
+		name   string
+		quic   bool
+		train  []*HandshakeInfo
+		eval   []*HandshakeInfo
+		subset []string
+		opts   Options
+	}{
+		{name: "tcp", train: tcpTrain, eval: tcpEval},
+		{name: "quic", quic: true, train: quicTrain, eval: quicEval},
+		// Cross-transport inputs: a QUIC handshake through the TCP schema
+		// (and vice versa) must still match the reference path's zeros.
+		{name: "tcp-schema-quic-input", train: tcpTrain, eval: quicEval},
+		{name: "quic-schema-tcp-input", quic: true, train: quicTrain, eval: tcpEval},
+		{name: "tcp-subset", train: tcpTrain, eval: tcpEval,
+			subset: []string{"t1", "t11", "m2", "m3", "o3", "o5", "o7", "o12", "o13", "o19"}},
+		{name: "quic-subset", quic: true, train: quicTrain, eval: quicEval,
+			subset: []string{"t1", "m3", "q1", "q2", "q13", "q17", "q18", "q20"}},
+		{name: "tcp-keepgrease", train: tcpTrain, eval: tcpEval, opts: Options{KeepGrease: true}},
+		{name: "quic-keepgrease", quic: true, train: quicTrain, eval: quicEval, opts: Options{KeepGrease: true}},
+	} {
+		enc, ce := fit(tc.quic, tc.train, tc.subset, tc.opts)
+		for i, info := range tc.eval {
+			checkEqual(t, enc, ce, info, tc.opts, fmt.Sprintf("%s[%d]", tc.name, i))
+		}
+	}
+}
+
+// TestCompiledEncoderSurvivesSerialization pins that compiling a gob
+// round-tripped encoder yields the same vectors (the bank-deploy scenario).
+func TestCompiledEncoderSurvivesSerialization(t *testing.T) {
+	train := genInfos(t, fingerprint.QUIC, 5)
+	eval := genInfos(t, fingerprint.QUIC, 79)
+	enc, err := NewEncoder(true, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples []*FieldValues
+	for _, info := range train {
+		samples = append(samples, Extract(info))
+	}
+	enc.Fit(samples)
+
+	blob, err := enc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Encoder{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if !enc.EquivalentTo(restored) {
+		t.Fatal("round-tripped encoder not equivalent")
+	}
+	ce, err := Compile(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range eval {
+		checkEqual(t, enc, ce, info, Options{}, fmt.Sprintf("roundtrip[%d]", i))
+	}
+}
+
+// TestEncodeIntoZeroAlloc pins the serving-path contract: with a reused
+// vector, a scratch, and pre-parsed QUIC transport parameters, EncodeInto
+// performs no allocations.
+func TestEncodeIntoZeroAlloc(t *testing.T) {
+	for _, quic := range []bool{false, true} {
+		tr := fingerprint.TCP
+		if quic {
+			tr = fingerprint.QUIC
+		}
+		infos := genInfos(t, tr, 6)
+		enc, err := NewEncoder(quic, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var samples []*FieldValues
+		for _, info := range infos {
+			samples = append(samples, Extract(info))
+		}
+		enc.Fit(samples)
+		ce, err := Compile(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		info := infos[0]
+		if quic {
+			// The pipeline's assembler pre-parses transport parameters; do
+			// the same so the encode stage is measured as deployed.
+			e, ok := info.Hello.Extension(tlsproto.ExtQUICTransportParams)
+			if !ok {
+				t.Fatal("no transport parameters in QUIC hello")
+			}
+			info.Params, err = quicproto.ParseTransportParameters(e.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		var sc EncodeScratch
+		dst := ce.EncodeInto(nil, info, &sc) // warm scratch capacities
+		allocs := testing.AllocsPerRun(200, func() {
+			dst = ce.EncodeInto(dst, info, &sc)
+		})
+		if allocs != 0 {
+			t.Errorf("quic=%v: EncodeInto allocates %.1f per call, want 0", quic, allocs)
+		}
+	}
+}

@@ -136,6 +136,37 @@ func (e *Encoder) TransformAll(samples []*FieldValues) [][]float64 {
 	return out
 }
 
+// EquivalentTo reports whether two fitted encoders produce identical
+// vectors for every input: same attribute sequence and identical
+// vocabularies. The pipeline uses this to share one compiled encode pass
+// across the three per-objective models, which are fitted on the same
+// samples and therefore (deterministically) grow the same vocabularies.
+func (e *Encoder) EquivalentTo(o *Encoder) bool {
+	if o == nil || len(e.Attrs) != len(o.Attrs) {
+		return false
+	}
+	for i := range e.Attrs {
+		if e.Attrs[i].Label != o.Attrs[i].Label {
+			return false
+		}
+	}
+	if len(e.vocabs) != len(o.vocabs) {
+		return false
+	}
+	for label, v := range e.vocabs {
+		ov, ok := o.vocabs[label]
+		if !ok || len(v) != len(ov) {
+			return false
+		}
+		for tok, id := range v {
+			if ov[tok] != id {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // VocabSize returns the fitted vocabulary size for an attribute label.
 func (e *Encoder) VocabSize(label string) int { return len(e.vocabs[label]) }
 

@@ -269,23 +269,9 @@ func (o Options) uint16Tokens(vals []uint16) []string {
 }
 
 // compressToken maps certificate-compression algorithm lists to readable
-// tokens (the paper's zlib/brotli example of §3.3.2).
+// tokens (the paper's zlib/brotli example of §3.3.2). It delegates to the
+// append-style renderer the compiled serving path uses, so the two can
+// never drift.
 func compressToken(algs []uint16) string {
-	names := ""
-	for i, a := range algs {
-		if i > 0 {
-			names += ","
-		}
-		switch a {
-		case 1:
-			names += "zlib"
-		case 2:
-			names += "brotli"
-		case 3:
-			names += "zstd"
-		default:
-			names += "0x" + strconv.FormatUint(uint64(a), 16)
-		}
-	}
-	return names
+	return string(appendCompressToken(nil, algs))
 }

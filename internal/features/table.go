@@ -13,6 +13,32 @@
 //     tokens become dictionary indices and list attributes become
 //     fixed-length positional vectors with zero padding, exactly as §4.2.1
 //     describes.
+//
+// # Two representations: training FieldValues vs the compiled serving path
+//
+// FieldValues — string tokens in three maps keyed by Table 2 label — is the
+// training and experiments representation: human-readable, diffable, what
+// Encoder.Fit consumes and what cmd/vpextract prints. It allocates freely
+// (every token is a formatted string) and that is fine off the hot path.
+//
+// The serving path never builds it. CompiledEncoder (see Compile) lowers a
+// fitted Encoder into a dense slot table: numeric/presence/length slots are
+// written straight from parsed header fields, and categorical/list tokens
+// resolve through interned lookup tables keyed on raw wire values
+// (cipher-suite uint16s, extension ids, QUIC transport-parameter ids, raw
+// extension bytes) instead of formatting strings. EncodeInto writes into a
+// caller-owned []float64 with an EncodeScratch for its temporary buffers,
+// making the steady state allocation-free. The two paths are element-
+// identical by contract — EncodeInto(dst, info, sc) equals
+// Transform(ExtractWithOptions(info, opts)) — pinned by the golden-
+// equivalence tests here and at the bank level.
+//
+// Reuse rules: a CompiledEncoder is immutable and safe to share across
+// goroutines; an EncodeScratch and the dst vector are per-goroutine. Only
+// serialization-facing state lives in the Encoder (attribute labels plus
+// vocabularies, gob-encoded by MarshalBinary); compiled tables are derived
+// on load, so serialized encoders — and therefore serialized pipeline banks
+// — are bit-compatible with builds that predate compilation.
 package features
 
 // Kind is the attribute's encoding type (the "Attribute type" column of

@@ -77,11 +77,20 @@ func (f *RandomForest) Fit(d *Dataset) {
 
 // PredictProba averages member probabilities.
 func (f *RandomForest) PredictProba(x []float64) []float64 {
-	var out []float64
+	return f.PredictProbaInto(x, nil)
+}
+
+// PredictProbaInto is PredictProba accumulating into out's capacity, so a
+// serving loop can reuse one probability buffer per worker and predict
+// without allocating. The returned slice is the (possibly grown) buffer;
+// the float operations are performed in the same order as PredictProba, so
+// the two are bitwise identical.
+func (f *RandomForest) PredictProbaInto(x, out []float64) []float64 {
+	out = out[:0]
 	for _, t := range f.trees {
 		p := t.PredictProba(x)
-		if out == nil {
-			out = make([]float64, len(p))
+		for len(out) < len(p) {
+			out = append(out, 0)
 		}
 		for i, v := range p {
 			out[i] += v
@@ -91,6 +100,20 @@ func (f *RandomForest) PredictProba(x []float64) []float64 {
 		out[i] /= float64(len(f.trees))
 	}
 	return out
+}
+
+// PredictInto returns the argmax class index and its probability, reusing
+// *proba as the probability scratch buffer (it is grown in place as
+// needed). Equivalent to Predict(f, x) with zero steady-state allocations.
+func (f *RandomForest) PredictInto(x []float64, proba *[]float64) (int, float64) {
+	*proba = f.PredictProbaInto(x, *proba)
+	best, bestP := 0, -1.0
+	for i, v := range *proba {
+		if v > bestP {
+			best, bestP = i, v
+		}
+	}
+	return best, bestP
 }
 
 // NumTrees reports the trained ensemble size.

@@ -1,0 +1,52 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestPredictIntoMatchesPredict(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var x [][]float64
+	var labels []string
+	names := []string{"a", "b", "c"}
+	for i := 0; i < 240; i++ {
+		c := i % 3
+		row := make([]float64, 6)
+		for j := range row {
+			row[j] = float64(c)*3 + rng.Float64()
+		}
+		x = append(x, row)
+		labels = append(labels, names[c])
+	}
+	d, err := NewDataset(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &RandomForest{Config: ForestConfig{NumTrees: 9, MaxDepth: 6, Seed: 3}}
+	f.Fit(d)
+
+	var proba []float64
+	for _, row := range d.X {
+		wantC, wantP := Predict(f, row)
+		gotC, gotP := f.PredictInto(row, &proba)
+		if wantC != gotC || wantP != gotP {
+			t.Fatalf("PredictInto (%d, %v) != Predict (%d, %v)", gotC, gotP, wantC, wantP)
+		}
+		wantProba := f.PredictProba(row)
+		got := f.PredictProbaInto(row, proba)
+		for i := range wantProba {
+			if wantProba[i] != got[i] {
+				t.Fatalf("proba[%d]: %v != %v", i, got[i], wantProba[i])
+			}
+		}
+	}
+
+	// The scratch path must be allocation-free once warm.
+	allocs := testing.AllocsPerRun(100, func() {
+		f.PredictInto(d.X[0], &proba)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictInto allocates %.1f per call, want 0", allocs)
+	}
+}

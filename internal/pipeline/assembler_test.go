@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"math/rand/v2"
+	"net/netip"
+	"testing"
+	"time"
+
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/packet"
+)
+
+// tcpFlowFrames builds handcrafted frames for one TCP flow. Client frames
+// originate from src:50000 -> dst:443; server frames are the reverse.
+type tcpFlowFrames struct {
+	src, dst netip.Addr
+}
+
+func newTCPFlowFrames() tcpFlowFrames {
+	return tcpFlowFrames{
+		src: netip.MustParseAddr("192.168.1.2"),
+		dst: netip.MustParseAddr("203.0.113.40"),
+	}
+}
+
+func (ff tcpFlowFrames) client(payload []byte, flags uint8) []byte {
+	tcp := packet.TCP{SrcPort: 50000, DstPort: 443, Flags: flags, Window: 65535}
+	seg := tcp.Append(nil, payload, ff.src, ff.dst)
+	ip := packet.IPv4{TTL: 62, Protocol: packet.ProtoTCP, Src: ff.src, Dst: ff.dst}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	return eth.Append(nil, ip.Append(nil, seg))
+}
+
+func (ff tcpFlowFrames) server(payload []byte, flags uint8) []byte {
+	tcp := packet.TCP{SrcPort: 443, DstPort: 50000, Flags: flags, Window: 65535}
+	seg := tcp.Append(nil, payload, ff.dst, ff.src)
+	ip := packet.IPv4{TTL: 57, Protocol: packet.ProtoTCP, Src: ff.dst, Dst: ff.src}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	return eth.Append(nil, ip.Append(nil, seg))
+}
+
+// TestStreamingSplitHelloWithServerInterleave pins the incremental
+// assembler's streaming behaviour: a ClientHello split across three client
+// segments with server packets interleaved classifies exactly once, on the
+// client frame that completes the record — and the interleaved server
+// packets neither advance nor disturb assembly.
+func TestStreamingSplitHelloWithServerInterleave(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	rng := rand.New(rand.NewPCG(1, 1))
+	f, err := fingerprint.Generate(rng, "macOS_safari", fingerprint.Amazon, fingerprint.TCP, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	record := f.Hello.MarshalRecord()
+	cut1, cut2 := len(record)/3, 2*len(record)/3
+
+	ff := newTCPFlowFrames()
+	type step struct {
+		frame    []byte
+		classify bool
+	}
+	steps := []step{
+		{ff.client(nil, packet.FlagSYN), false},
+		{ff.server(nil, packet.FlagSYN|packet.FlagACK), false},
+		{ff.client(record[:cut1], packet.FlagACK|packet.FlagPSH), false},
+		{ff.server([]byte{0xde, 0xad}, packet.FlagACK), false}, // server bytes mid-handshake
+		{ff.client(record[cut1:cut2], packet.FlagACK|packet.FlagPSH), false},
+		{ff.server(nil, packet.FlagACK), false},
+		{ff.client(record[cut2:], packet.FlagACK|packet.FlagPSH), true},
+		{ff.server([]byte{1, 2, 3}, packet.FlagACK), false}, // post-classification traffic
+	}
+
+	p := New(bank)
+	ts := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	for i, s := range steps {
+		rec, err := p.HandlePacket(ts, s.frame)
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if got := rec != nil; got != s.classify {
+			t.Fatalf("step %d: classified=%v, want %v", i, got, s.classify)
+		}
+		if rec != nil && rec.SNI != f.SNI {
+			t.Fatalf("step %d: SNI %q, want %q", i, rec.SNI, f.SNI)
+		}
+	}
+	flows := p.Flows()
+	if len(flows) != 1 || !flows[0].Classified {
+		t.Fatalf("want 1 classified flow, got %+v", flows)
+	}
+	if flows[0].PacketsDown != 4 || flows[0].PacketsUp != 4 {
+		t.Errorf("telemetry split wrong: up=%d down=%d", flows[0].PacketsUp, flows[0].PacketsDown)
+	}
+}
+
+// endlessRecordChunk returns TCP payload bytes that look like the start of
+// a huge handshake record: ParseRecord keeps reporting a truncated body, so
+// the assembler keeps buffering — the scenario MaxHelloBytes bounds.
+func endlessRecordChunk(first bool, n int) []byte {
+	chunk := make([]byte, n)
+	if first {
+		chunk[0] = 22                   // handshake record
+		chunk[1], chunk[2] = 0x03, 0x01 // legacy version
+		chunk[3], chunk[4] = 0x3f, 0xff // record length far beyond what we send
+	}
+	return chunk
+}
+
+func TestMaxHelloBytesAbandonsOversizedFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	p := NewWithConfig(bank, Config{MaxHelloBytes: 1024})
+	ff := newTCPFlowFrames()
+	ts := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+
+	feed := func(frame []byte) {
+		t.Helper()
+		if rec, err := p.HandlePacket(ts, frame); err != nil || rec != nil {
+			t.Fatalf("unexpected classification/err: %v %v", rec, err)
+		}
+	}
+	feed(ff.client(nil, packet.FlagSYN))
+	feed(ff.client(endlessRecordChunk(true, 600), packet.FlagACK|packet.FlagPSH))
+	if got := p.OversizedHandshakes(); got != 0 {
+		t.Fatalf("oversized after 600 buffered bytes = %d, want 0", got)
+	}
+	feed(ff.client(endlessRecordChunk(false, 600), packet.FlagACK|packet.FlagPSH))
+	if got := p.OversizedHandshakes(); got != 1 {
+		t.Fatalf("oversized after 1200 buffered bytes = %d, want 1", got)
+	}
+	// The flow is abandoned: more client bytes neither re-trigger assembly
+	// nor bump the counter again.
+	feed(ff.client(endlessRecordChunk(false, 600), packet.FlagACK|packet.FlagPSH))
+	if got := p.OversizedHandshakes(); got != 1 {
+		t.Fatalf("oversized counted twice: %d", got)
+	}
+	flows := p.Flows()
+	if len(flows) != 1 || flows[0].Classified {
+		t.Fatalf("oversized flow should be tracked but unclassified: %+v", flows)
+	}
+	// Telemetry still accumulates for the abandoned flow.
+	if flows[0].PacketsUp != 4 {
+		t.Errorf("telemetry stopped: packetsUp=%d, want 4", flows[0].PacketsUp)
+	}
+}
+
+func TestMaxHelloBytesDisabledBuffersOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	p := NewWithConfig(bank, Config{MaxHelloBytes: -1})
+	ff := newTCPFlowFrames()
+	ts := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	p.HandlePacket(ts, ff.client(nil, packet.FlagSYN))
+	p.HandlePacket(ts, ff.client(endlessRecordChunk(true, 60000), packet.FlagACK|packet.FlagPSH))
+	p.HandlePacket(ts, ff.client(endlessRecordChunk(false, 60000), packet.FlagACK|packet.FlagPSH))
+	if got := p.OversizedHandshakes(); got != 0 {
+		t.Fatalf("unbounded config still abandoned the flow: %d", got)
+	}
+}
+
+// TestShardedOversizedCounter pins the counter's aggregation across shards
+// and its surfacing through IngestStats.
+func TestShardedOversizedCounter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	s := NewShardedWithConfig(bank, 2, Config{MaxHelloBytes: 512})
+	ff := newTCPFlowFrames()
+	ts := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
+	s.HandlePacket(ts, ff.client(nil, packet.FlagSYN))
+	s.HandlePacket(ts, ff.client(endlessRecordChunk(true, 600), packet.FlagACK|packet.FlagPSH))
+	s.Close()
+	if got := s.IngestStats().OversizedHandshakes; got != 1 {
+		t.Fatalf("sharded oversized_handshakes = %d, want 1", got)
+	}
+}

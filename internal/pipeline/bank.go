@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 
 	"videoplat/internal/features"
 	"videoplat/internal/fingerprint"
@@ -38,13 +39,28 @@ type Model struct {
 	Encoder *features.Encoder
 	Forest  *ml.RandomForest
 	Classes []string
+
+	compileOnce sync.Once
+	compiled    *features.CompiledEncoder
 }
 
-// Predict classifies one handshake.
+// Predict classifies one handshake's field values (the training/experiments
+// representation). The serving path uses Bank.ClassifyHandshake instead.
 func (m *Model) Predict(v *features.FieldValues) (string, float64) {
 	x := m.Encoder.Transform(v)
 	ci, conf := ml.Predict(m.Forest, x)
 	return m.Classes[ci], conf
+}
+
+// Compiled returns the model's serving-path compiled encoder, lowering the
+// fitted encoder on first use. It returns nil when the encoder cannot be
+// compiled (an attribute schema this build does not know), in which case
+// callers fall back to Extract+Transform.
+func (m *Model) Compiled() *features.CompiledEncoder {
+	m.compileOnce.Do(func() {
+		m.compiled, _ = features.Compile(m.Encoder)
+	})
+	return m.compiled
 }
 
 // bankKey identifies a model in the bank.
@@ -66,6 +82,56 @@ type Bank struct {
 	// serialization, so classifications and exports stay attributable.
 	// Empty for ad-hoc banks that never went through a registry.
 	Version string
+
+	// entries is the serving-path index: per (provider, transport), the
+	// three objective models plus — when their fitted encoders are
+	// equivalent, which TrainBank guarantees — one shared compiled encoder
+	// so a flow is encoded once for all three predictions. Built lazily
+	// (the model set is immutable after TrainBank/UnmarshalBinary).
+	entriesOnce sync.Once
+	entries     map[entryKey]*bankEntry
+}
+
+type entryKey struct {
+	Provider  fingerprint.Provider
+	Transport fingerprint.Transport
+}
+
+type bankEntry struct {
+	platform, device, agent *Model
+	// shared is the single compiled encoder serving all three objectives,
+	// nil when the per-objective encoders differ (hand-assembled banks) or
+	// cannot be compiled — Classify's Extract+Transform path is the
+	// fallback.
+	shared *features.CompiledEncoder
+}
+
+// entry returns the serving index entry for a (provider, transport), or nil
+// when any objective model is missing.
+func (b *Bank) entry(prov fingerprint.Provider, tr fingerprint.Transport) *bankEntry {
+	b.entriesOnce.Do(func() {
+		b.entries = map[entryKey]*bankEntry{}
+		for key := range b.models {
+			ek := entryKey{key.Provider, key.Transport}
+			if _, done := b.entries[ek]; done {
+				continue
+			}
+			e := &bankEntry{
+				platform: b.models[bankKey{ek.Provider, ek.Transport, PlatformObjective}],
+				device:   b.models[bankKey{ek.Provider, ek.Transport, DeviceObjective}],
+				agent:    b.models[bankKey{ek.Provider, ek.Transport, AgentObjective}],
+			}
+			if e.platform == nil || e.device == nil || e.agent == nil {
+				continue
+			}
+			if e.platform.Encoder.EquivalentTo(e.device.Encoder) &&
+				e.platform.Encoder.EquivalentTo(e.agent.Encoder) {
+				e.shared = e.platform.Compiled()
+			}
+			b.entries[ek] = e
+		}
+	})
+	return b.entries[entryKey{prov, tr}]
 }
 
 // TrainConfig controls bank training.
@@ -203,18 +269,72 @@ type Prediction struct {
 // Classify runs the three objectives for a flow and applies the confidence
 // selector: composite first; below threshold, fall back to the individual
 // device/agent models; if none clears the threshold the flow is Unknown.
+// This is the training/experiments entry point over extracted FieldValues;
+// the serving path is ClassifyHandshake.
 func (b *Bank) Classify(prov fingerprint.Provider, tr fingerprint.Transport, v *features.FieldValues) (Prediction, error) {
 	var p Prediction
-	pm := b.Model(prov, tr, PlatformObjective)
-	dm := b.Model(prov, tr, DeviceObjective)
-	am := b.Model(prov, tr, AgentObjective)
-	if pm == nil || dm == nil || am == nil {
+	e := b.entry(prov, tr)
+	if e == nil {
 		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr)
 	}
-	p.Platform, p.PlatformConf = pm.Predict(v)
-	p.Device, p.DeviceConf = dm.Predict(v)
-	p.Agent, p.AgentConf = am.Predict(v)
+	p.Platform, p.PlatformConf = e.platform.Predict(v)
+	p.Device, p.DeviceConf = e.device.Predict(v)
+	p.Agent, p.AgentConf = e.agent.Predict(v)
+	p.applySelector()
+	return p, nil
+}
 
+// ClassifyScratch holds one worker's reusable classification buffers: the
+// encoded feature vector, the forest probability accumulator, and the
+// compiled encoder's extension-walking scratch. Each pipeline (and thus
+// each shard) owns one, so the steady-state encode+predict path performs no
+// allocations. The zero value is ready to use; not safe for concurrent use.
+type ClassifyScratch struct {
+	vec   []float64
+	proba []float64
+	enc   features.EncodeScratch
+}
+
+// ClassifyHandshake classifies an assembled handshake directly — the
+// serving-path fast variant of Classify. With a TrainBank-built (or
+// deserialized) bank the three objectives share one compiled encode pass:
+// raw wire values resolve through interned tables into sc's pooled vector,
+// with no FieldValues maps and no string formatting. Predictions are
+// byte-identical to Classify(prov, tr, features.Extract(info)) — pinned by
+// the golden-equivalence tests. A nil sc allocates temporaries (used by
+// off-path callers like the shadow evaluator).
+func (b *Bank) ClassifyHandshake(prov fingerprint.Provider, tr fingerprint.Transport, info *features.HandshakeInfo, sc *ClassifyScratch) (Prediction, error) {
+	var p Prediction
+	e := b.entry(prov, tr)
+	if e == nil {
+		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr)
+	}
+	if e.shared == nil {
+		// Encoders differ or did not compile: fall back to the reference
+		// extraction path.
+		return b.Classify(prov, tr, features.Extract(info))
+	}
+	if sc == nil {
+		sc = &ClassifyScratch{}
+	}
+	sc.vec = e.shared.EncodeInto(sc.vec, info, &sc.enc)
+	p.Platform, p.PlatformConf = e.platform.predictInto(sc.vec, &sc.proba)
+	p.Device, p.DeviceConf = e.device.predictInto(sc.vec, &sc.proba)
+	p.Agent, p.AgentConf = e.agent.predictInto(sc.vec, &sc.proba)
+	p.applySelector()
+	return p, nil
+}
+
+// predictInto is Predict over an already-encoded vector with caller-owned
+// probability scratch.
+func (m *Model) predictInto(x []float64, proba *[]float64) (string, float64) {
+	ci, conf := m.Forest.PredictInto(x, proba)
+	return m.Classes[ci], conf
+}
+
+// applySelector applies the §4.1 confidence selector to raw per-objective
+// predictions, shared by Classify and ClassifyHandshake.
+func (p *Prediction) applySelector() {
 	switch {
 	case p.PlatformConf >= ConfidenceThreshold:
 		p.Status = Composite
@@ -232,5 +352,4 @@ func (b *Bank) Classify(prov fingerprint.Provider, tr fingerprint.Transport, v *
 	default:
 		p.Status = Unknown
 	}
-	return p, nil
 }

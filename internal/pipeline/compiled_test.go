@@ -1,0 +1,246 @@
+package pipeline
+
+import (
+	"reflect"
+	"testing"
+
+	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
+	"videoplat/internal/tracegen"
+)
+
+// goldenBank trains a small bank whose vocabularies deliberately do NOT
+// cover the evaluation traffic (different generator seed, plus open-set
+// drifted profiles), so unseen tokens exercise the miss-to-zero path.
+func goldenBank(t *testing.T) *Bank {
+	t.Helper()
+	ds, err := tracegen.New(1).LabDataset(0.04, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := TrainBank(ds, TrainConfig{Forest: DefaultForestConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bank
+}
+
+func goldenEvalFlows(t *testing.T) []*tracegen.FlowTrace {
+	t.Helper()
+	fresh, err := tracegen.New(99).LabDataset(0.03, fingerprint.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open-set flows carry version-drifted profiles: tokens the fitted
+	// vocabularies have never seen.
+	drifted, err := tracegen.New(42).OpenSetDataset(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(fresh.Flows, drifted.Flows...)
+}
+
+// checkBankEquivalence pins, for every evaluation flow and every model in
+// the bank, that the compiled fast path is element-identical to
+// Encoder.Transform over extracted field values, and that ClassifyHandshake
+// reproduces Classify byte for byte.
+func checkBankEquivalence(t *testing.T, bank *Bank, flows []*tracegen.FlowTrace, tag string) {
+	t.Helper()
+	var sc ClassifyScratch
+	for fi, ft := range flows {
+		info, err := ExtractTrace(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := features.Extract(info)
+		for _, obj := range []Objective{PlatformObjective, DeviceObjective, AgentObjective} {
+			m := bank.Model(ft.Provider, ft.Transport, obj)
+			if m == nil {
+				t.Fatalf("%s: no %s model for %s/%s", tag, obj, ft.Provider, ft.Transport)
+			}
+			ce := m.Compiled()
+			if ce == nil {
+				t.Fatalf("%s: encoder for %s/%s/%s did not compile", tag, ft.Provider, ft.Transport, obj)
+			}
+			want := m.Encoder.Transform(v)
+			got := ce.Encode(info)
+			if !reflect.DeepEqual(want, got) {
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("%s: flow %d (%s/%s/%s) column %d (%s): compiled %v, reference %v",
+							tag, fi, ft.Provider, ft.Transport, obj, i, m.Encoder.Columns()[i].Name, got[i], want[i])
+					}
+				}
+			}
+		}
+
+		ref, err := bank.Classify(ft.Provider, ft.Transport, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := bank.ClassifyHandshake(ft.Provider, ft.Transport, info, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fast != ref {
+			t.Fatalf("%s: flow %d (%s): predictions diverge:\nfast: %+v\nref:  %+v",
+				tag, fi, ft.Label, fast, ref)
+		}
+	}
+}
+
+func TestCompiledBankGoldenEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	flows := goldenEvalFlows(t)
+	checkBankEquivalence(t, bank, flows, "fresh")
+
+	// The three per-objective encoders are fitted on the same samples, so
+	// the serving path must be sharing one compiled encode pass.
+	for _, prov := range fingerprint.AllProviders() {
+		for _, tr := range []fingerprint.Transport{fingerprint.TCP, fingerprint.QUIC} {
+			e := bank.entry(prov, tr)
+			if e == nil {
+				continue
+			}
+			if e.shared == nil {
+				t.Errorf("%s/%s: objectives do not share an encode pass", prov, tr)
+			}
+		}
+	}
+
+	// The contract must survive deployment: gob round-trip the bank (the
+	// vptrain -> registry -> vpserve path) and re-pin everything.
+	blob, err := bank.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &Bank{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	checkBankEquivalence(t, restored, flows, "gob-roundtrip")
+
+	// And the two banks agree with each other.
+	for _, ft := range flows[:20] {
+		info, err := ExtractTrace(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := bank.ClassifyHandshake(ft.Provider, ft.Transport, info, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := restored.ClassifyHandshake(ft.Provider, ft.Transport, info, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("restored bank diverges on %s: %+v vs %+v", ft.Label, a, b)
+		}
+	}
+}
+
+// TestBankReloadRebuildsServingIndex pins that UnmarshalBinary into a Bank
+// that has already classified (and so has a built entry index) rebuilds the
+// index around the freshly decoded models instead of serving stale ones.
+func TestBankReloadRebuildsServingIndex(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	blob, err := goldenBank(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Bank{}
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	ft, err := tracegen.New(7).Flow("windows_chrome", fingerprint.YouTube, fingerprint.TCP, tracegen.FlowSpec{PayloadFrames: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ExtractTrace(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ClassifyHandshake(fingerprint.YouTube, fingerprint.TCP, info, nil); err != nil {
+		t.Fatal(err) // builds the lazy entry index
+	}
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err) // in-place reload: new *Model instances
+	}
+	if _, err := b.ClassifyHandshake(fingerprint.YouTube, fingerprint.TCP, info, nil); err != nil {
+		t.Fatal(err)
+	}
+	e := b.entry(fingerprint.YouTube, fingerprint.TCP)
+	if e == nil || e.platform != b.Model(fingerprint.YouTube, fingerprint.TCP, PlatformObjective) {
+		t.Fatal("serving index still points at the pre-reload models")
+	}
+}
+
+// TestClassifyHandshakeZeroAlloc pins the serving-path budget: with a warm
+// per-worker scratch, encode+predict allocates nothing.
+func TestClassifyHandshakeZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	for _, tr := range []fingerprint.Transport{fingerprint.TCP, fingerprint.QUIC} {
+		label := "windows_chrome"
+		ft, err := tracegen.New(7).Flow(label, fingerprint.YouTube, tr, tracegen.FlowSpec{PayloadFrames: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info, err := ExtractTrace(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sc ClassifyScratch
+		if _, err := bank.ClassifyHandshake(ft.Provider, tr, info, &sc); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if _, err := bank.ClassifyHandshake(ft.Provider, tr, info, &sc); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ClassifyHandshake allocates %.1f per call, want 0", tr, allocs)
+		}
+	}
+}
+
+func BenchmarkClassifyHandshake(b *testing.B) {
+	ds, err := tracegen.New(1).LabDataset(0.04, fingerprint.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bank, err := TrainBank(ds, TrainConfig{Forest: DefaultForestConfig()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ft, err := tracegen.New(7).Flow("windows_chrome", fingerprint.YouTube, fingerprint.QUIC, tracegen.FlowSpec{PayloadFrames: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	info, err := ExtractTrace(ft)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sc ClassifyScratch
+	// Warm the lazily built entry index, compiled tables and scratch so the
+	// timed region measures the steady state (which must be 0 allocs/op).
+	if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,13 +18,46 @@
 //
 // Buffer-reuse rules: a batch's arena is recycled as soon as the shard
 // worker has run every frame through the pipeline, which is safe because
-// the pipeline copies anything it retains past the call (client-side
-// handshake frames are duplicated into flow state; flow keys and telemetry
-// are values). Code that adds retention to the flow path must keep that
-// copy-on-retain invariant or the arena recycle in Sharded becomes a
-// use-after-free. Frames with no TCP/UDP 5-tuple are dropped at ingest
-// (counted in Sharded.Ignored); queue depths and the best-effort results
-// buffer are Config knobs with shard-count-scaled defaults.
+// the pipeline copies anything it retains past the call (client handshake
+// payload bytes are copied into the flow's assembler; flow keys and
+// telemetry are values). Code that adds retention to the flow path must
+// keep that copy-on-retain invariant or the arena recycle in Sharded
+// becomes a use-after-free. Frames with no TCP/UDP 5-tuple are dropped at
+// ingest (counted in Sharded.Ignored); queue depths and the best-effort
+// results buffer are Config knobs with shard-count-scaled defaults.
+//
+// # Zero-allocation classification fast path
+//
+// Classification — the per-flow cost once ingest is parse-once — is built
+// around two pieces:
+//
+//   - Incremental handshake assembly. Each flow owns an hsAssembler, a
+//     small state machine that consumes client-direction bytes as they
+//     arrive and remembers parse progress (SYN fields, buffered TCP payload
+//     bytes), so a flow is reassembled once in O(client handshake bytes)
+//     instead of re-running full reassembly over every buffered frame on
+//     every packet. Server-direction packets never touch assembly, and
+//     buffered bytes are bounded by Config.MaxHelloBytes (oversized flows
+//     are abandoned and counted in OversizedHandshakes).
+//
+//   - Compiled encoding and pooled prediction. Bank.ClassifyHandshake
+//     encodes the assembled handshake once through the models' shared
+//     features.CompiledEncoder — raw wire values resolved through interned
+//     tables, no FieldValues maps, no string formatting — and runs the
+//     three objectives' forests through ml's PredictInto over the
+//     pipeline-owned ClassifyScratch. The encode+predict stage performs
+//     zero steady-state allocations, and its output is byte-identical to
+//     the reference Extract+Transform+Classify path (pinned by the
+//     golden-equivalence tests).
+//
+// Scratch-reuse rules: each Pipeline owns one ClassifyScratch (and each
+// Sharded shard owns its Pipeline), so scratch state is single-goroutine by
+// construction. The HandshakeInfo passed to Config.OnClassify aliases the
+// flow's assembler buffers and is only valid for the duration of the hook
+// call; the shadow evaluator classifies synchronously within it.
+// Serialized banks carry only encoders and forests — compiled tables and
+// the shared-encoder index rebuild lazily after UnmarshalBinary — so the
+// gob format is unchanged and older banks load into the fast path.
 package pipeline
 
 import (
@@ -71,69 +104,128 @@ func MatchProvider(sni string) (prov fingerprint.Provider, content, ok bool) {
 	return 0, false, false
 }
 
+// hsAssembler is the incremental per-flow handshake assembler: a small
+// state machine that consumes client-direction frames one at a time,
+// remembering parse progress (SYN fields seen, TCP payload bytes buffered),
+// so a flow's handshake is reassembled in O(total client bytes) instead of
+// re-running full reassembly over every buffered frame on every packet.
+// Consuming a flow's client frames in order leaves the assembler in exactly
+// the state ExtractFrames' batch fold would have reached — ExtractFrames is
+// implemented on top of it.
+//
+// The assembler owns every byte it retains: TCP payloads are copied into
+// tcpStream, and the Hello produced by the record/Initial parsers is backed
+// by freshly assembled buffers — never by the input frame — so callers may
+// recycle frame buffers (e.g. Sharded's batch arenas) as soon as consume
+// returns.
+type hsAssembler struct {
+	info      features.HandshakeInfo
+	sawSYN    bool
+	tcpStream []byte // buffered client-direction TCP payload bytes
+	frames    int    // client frames consumed so far
+}
+
+func (a *hsAssembler) init() { a.info.TCPWScale = -1 }
+
+// buffered reports the client handshake bytes currently held for this flow
+// (the quantity Config.MaxHelloBytes bounds).
+func (a *hsAssembler) buffered() int { return len(a.tcpStream) }
+
+// consume feeds one client-direction frame to the state machine, parsing it
+// with the caller's scratch parser state. It returns true once the flow's
+// ClientHello has been fully assembled, after which a.info is complete
+// (including pre-parsed QUIC transport parameters) and no further frames
+// should be offered. Callers that already decoded the frame (the plain
+// HandlePacket path) use consumeParsed instead, keeping the parse-once
+// contract.
+func (a *hsAssembler) consume(parser *packet.Parser, parsed *packet.Parsed, frame []byte) bool {
+	if err := parser.Parse(frame, parsed); err != nil {
+		a.frames++
+		return false // non-IP noise is skipped, as a tap would
+	}
+	return a.consumeParsed(parsed, frame)
+}
+
+// consumeParsed is consume after its decode. parsed must be the result of
+// Parser.Parse(frame, parsed).
+func (a *hsAssembler) consumeParsed(parsed *packet.Parsed, frame []byte) bool {
+	a.frames++
+	info := &a.info
+	switch {
+	case parsed.Has(packet.LayerTCP):
+		t := &parsed.TCP
+		if t.Flags&packet.FlagSYN != 0 && t.Flags&packet.FlagACK == 0 && !a.sawSYN {
+			a.sawSYN = true
+			info.QUIC = false
+			info.TTL = parsed.TTL()
+			info.InitPacketSize = len(frame) - 14 // IP packet size
+			info.TCPFlags = t.Flags
+			info.TCPWindow = t.Window
+			info.TCPMSS = t.MSS()
+			info.TCPWScale = t.WindowScale()
+			info.TCPSACK = t.SACKPermitted()
+		}
+		if len(parsed.Payload) > 0 && info.Hello == nil {
+			a.tcpStream = append(a.tcpStream, parsed.Payload...)
+			ch, err := tlsproto.ParseRecord(a.tcpStream)
+			if err == nil {
+				info.Hello = ch
+				return true
+			}
+			if !errors.Is(err, tlsproto.ErrMalformed) {
+				// Not a handshake record at all: wrong flow start.
+				a.tcpStream = a.tcpStream[:0]
+			}
+		}
+	case parsed.Has(packet.LayerUDP):
+		if !quicproto.IsLongHeader(parsed.Payload) {
+			return false
+		}
+		init, err := quicproto.ParseInitial(parsed.Payload)
+		if err != nil {
+			return false
+		}
+		ch, err := tlsproto.Parse(init.CryptoData)
+		if err != nil {
+			return false
+		}
+		info.QUIC = true
+		info.TTL = parsed.TTL()
+		info.InitPacketSize = init.WireSize
+		info.Hello = ch
+		return true
+	}
+	return false
+}
+
+// finish completes an assembled handshake: for QUIC it pre-parses the
+// transport parameters once, so the serving path's compiled encoders never
+// re-parse extension 57. Call only after consume returned true.
+func (a *hsAssembler) finish() *features.HandshakeInfo {
+	info := &a.info
+	if info.QUIC && info.Params == nil && info.Hello != nil {
+		if e, ok := info.Hello.Extension(tlsproto.ExtQUICTransportParams); ok {
+			info.Params, _ = quicproto.ParseTransportParameters(e.Data)
+		}
+	}
+	return info
+}
+
 // ExtractFrames assembles a flow's HandshakeInfo from its client-side
 // frames: the TCP SYN + ClientHello record, or the QUIC Initial. This is the
-// handshake-attribute path of Fig 4's preprocessing stage.
+// handshake-attribute path of Fig 4's preprocessing stage, expressed as a
+// batch fold over the incremental assembler the streaming pipeline uses.
 func ExtractFrames(frames [][]byte) (*features.HandshakeInfo, error) {
 	var parser packet.Parser
 	var parsed packet.Parsed
-	info := &features.HandshakeInfo{TCPWScale: -1}
-	var sawSYN bool
-	var tcpStream []byte
-
+	var a hsAssembler
+	a.init()
 	for _, frame := range frames {
-		if err := parser.Parse(frame, &parsed); err != nil {
-			continue // non-IP noise is skipped, as a tap would
-		}
-		switch {
-		case parsed.Has(packet.LayerTCP):
-			t := &parsed.TCP
-			if t.Flags&packet.FlagSYN != 0 && t.Flags&packet.FlagACK == 0 && !sawSYN {
-				sawSYN = true
-				info.QUIC = false
-				info.TTL = parsed.TTL()
-				info.InitPacketSize = len(frame) - 14 // IP packet size
-				info.TCPFlags = t.Flags
-				info.TCPWindow = t.Window
-				info.TCPMSS = t.MSS()
-				info.TCPWScale = t.WindowScale()
-				info.TCPSACK = t.SACKPermitted()
-			}
-			if len(parsed.Payload) > 0 && info.Hello == nil {
-				tcpStream = append(tcpStream, parsed.Payload...)
-				ch, err := tlsproto.ParseRecord(tcpStream)
-				if err == nil {
-					info.Hello = ch
-					return info, nil
-				}
-				if !errors.Is(err, tlsproto.ErrMalformed) {
-					// Not a handshake record at all: wrong flow start.
-					tcpStream = nil
-				}
-			}
-		case parsed.Has(packet.LayerUDP):
-			if !quicproto.IsLongHeader(parsed.Payload) {
-				continue
-			}
-			init, err := quicproto.ParseInitial(parsed.Payload)
-			if err != nil {
-				continue
-			}
-			ch, err := tlsproto.Parse(init.CryptoData)
-			if err != nil {
-				continue
-			}
-			info.QUIC = true
-			info.TTL = parsed.TTL()
-			info.InitPacketSize = init.WireSize
-			info.Hello = ch
-			return info, nil
+		if a.consume(&parser, &parsed, frame) {
+			return a.finish(), nil
 		}
 	}
-	if info.Hello == nil {
-		return nil, ErrNoHandshake
-	}
-	return info, nil
+	return nil, ErrNoHandshake
 }
 
 // ExtractTrace assembles HandshakeInfo from a generated FlowTrace's

@@ -45,10 +45,10 @@ func (r *FlowRecord) MbpsDown() float64 {
 }
 
 type flowState struct {
-	rec          FlowRecord
-	clientFrames [][]byte
-	clientKey    packet.FlowKey // direction of the initiating packet
-	done         bool           // classification finished (or rejected)
+	rec       FlowRecord
+	asm       hsAssembler    // incremental handshake assembly state
+	clientKey packet.FlowKey // direction of the initiating packet
+	done      bool           // classification finished (or rejected)
 }
 
 // Config bounds a Pipeline's flow table for long-running deployments.
@@ -78,14 +78,29 @@ type Config struct {
 	// telemetry can reach a sink instead of vanishing. Called synchronously
 	// from HandlePacket (for Sharded, from the owning shard's goroutine).
 	OnEvict func(rec *FlowRecord, reason flowtable.Reason)
+	// MaxHelloBytes caps the client handshake bytes buffered per flow while
+	// waiting for a complete ClientHello. A flow whose buffered bytes
+	// exceed the cap is abandoned (never classified) and counted in
+	// OversizedHandshakes — without it, a peer streaming endless handshake
+	// records down one flow grows that flow's buffer without bound until
+	// the 8-frame heuristic trips, and frames can be arbitrarily large.
+	// 0 selects DefaultMaxHelloBytes; negative disables the cap.
+	MaxHelloBytes int
 	// OnClassify, if non-nil, is invoked once per classification attempt
 	// with a copy of the flow record (after the confidence selector ran)
-	// and the extracted handshake features, letting a shadow evaluator
-	// re-classify the same flow with a candidate bank. Called synchronously
-	// from HandlePacket; for Sharded it runs on shard goroutines and must
-	// be safe for concurrent use.
-	OnClassify func(rec *FlowRecord, v *features.FieldValues)
+	// and the assembled handshake, letting a shadow evaluator re-classify
+	// the same flow with a candidate bank. The HandshakeInfo is only valid
+	// for the duration of the call — its buffers are recycled when the
+	// hook returns. Called synchronously from HandlePacket; for Sharded it
+	// runs on shard goroutines and must be safe for concurrent use.
+	OnClassify func(rec *FlowRecord, hs *features.HandshakeInfo)
 }
+
+// DefaultMaxHelloBytes bounds per-flow buffered handshake bytes when
+// Config.MaxHelloBytes is zero: generous enough for any real multi-record
+// ClientHello (TLS records cap at 16 KB and hellos are a fraction of that),
+// tight enough that a million tracked flows cannot pin gigabytes.
+const DefaultMaxHelloBytes = 64 << 10
 
 // Pipeline is the streaming packet processor of Fig 4. Feed packets with
 // HandlePacket; classified flows are returned as events and accumulated for
@@ -102,6 +117,16 @@ type Pipeline struct {
 
 	parser packet.Parser
 	parsed packet.Parsed
+	// scratch holds the classification path's reusable buffers (encoded
+	// vector, forest probabilities, extension-walk scratch). One per
+	// pipeline is safe: HandlePacket is single-goroutine by contract, and
+	// each shard of a Sharded owns its own Pipeline.
+	scratch ClassifyScratch
+
+	// oversized counts flows abandoned because their buffered handshake
+	// bytes exceeded Config.MaxHelloBytes. Atomic so Sharded can aggregate
+	// it across running shards.
+	oversized atomic.Uint64
 
 	// Stats counters.
 	Packets, VideoPackets, ClassifiedFlows, UnknownFlows int
@@ -162,15 +187,19 @@ func (p *Pipeline) handleParsed(ts time.Time, frame []byte, parsed *packet.Parse
 		p.Packets++
 		return nil, nil
 	}
-	return p.handleKeyed(ts, frame, key, key.Canonical(), len(parsed.Payload))
+	return p.handleKeyed(ts, frame, key, key.Canonical(), len(parsed.Payload), parsed)
 }
 
 // handleKeyed is the post-decode flow path. key, canon and payloadLen are
 // the ingest-time decode's summary — everything the flow stage needs, small
 // enough to travel through a shard queue without dragging the full layer
 // structs along. frame is still required for handshake assembly (client
-// frames are copied into flow state until a ClientHello parses out).
-func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.FlowKey, payloadLen int) (*FlowRecord, error) {
+// payload bytes are copied into flow state until a ClientHello parses out).
+// parsed, when non-nil, is the caller's decode of frame, letting the
+// assembler skip its own parse; shard workers pass nil (only the summary
+// crosses the queue) and the assembler re-decodes the few client
+// handshake-phase frames it actually consumes.
+func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.FlowKey, payloadLen int, parsed *packet.Parsed) (*FlowRecord, error) {
 	p.Packets++
 	if !isVideoPort(key) {
 		return nil, nil
@@ -181,6 +210,7 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		st = &flowState{clientKey: key}
 		st.rec.Key = key
 		st.rec.FirstSeen = ts
+		st.asm.init()
 		p.flows.Put(canon, st, ts)
 	}
 
@@ -198,23 +228,38 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		return nil, nil
 	}
 
-	// Handshake splitter: buffer client-side frames until a ClientHello
-	// parses out.
-	if key == st.clientKey {
-		st.clientFrames = append(st.clientFrames, append([]byte{}, frame...))
+	// Handshake splitter: only client-direction bytes can advance handshake
+	// assembly (the ClientHello rides the client side), so server packets on
+	// a still-unclassified flow cost nothing beyond the telemetry above.
+	if key != st.clientKey {
+		return nil, nil
 	}
-	info, err := ExtractFrames(st.clientFrames)
-	if err != nil {
-		if len(st.clientFrames) > 8 {
+	var complete bool
+	if parsed != nil {
+		complete = st.asm.consumeParsed(parsed, frame)
+	} else {
+		complete = st.asm.consume(&p.parser, &p.parsed, frame)
+	}
+	if !complete {
+		switch {
+		case st.asm.frames > 8:
 			st.done = true // no hello in the first packets: not a video flow
+		case p.maxHelloBytes() > 0 && st.asm.buffered() > p.maxHelloBytes():
+			st.done = true // oversized handshake: abandon, don't buffer more
+			p.oversized.Add(1)
+		}
+		if st.done {
+			st.asm = hsAssembler{} // release buffered handshake bytes
 		}
 		return nil, nil
 	}
+	info := st.asm.finish()
 
 	sni := info.Hello.ServerName()
 	prov, content, ok := MatchProvider(sni)
 	if !ok {
 		st.done = true
+		st.asm = hsAssembler{}
 		return nil, nil
 	}
 	p.VideoPackets++
@@ -226,18 +271,16 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		st.rec.Transport = fingerprint.QUIC
 	}
 
-	v := features.Extract(info)
 	bank := p.bank.Load() // one load: the whole classification uses one bank
-	pred, err := bank.Classify(prov, st.rec.Transport, v)
+	pred, err := bank.ClassifyHandshake(prov, st.rec.Transport, info, &p.scratch)
+	st.done = true
 	if err != nil {
-		st.done = true
+		st.asm = hsAssembler{}
 		return nil, err
 	}
 	st.rec.Prediction = pred
 	st.rec.Classified = true
 	st.rec.ModelVersion = bank.Version
-	st.done = true
-	st.clientFrames = nil
 	if pred.Status == Unknown {
 		p.UnknownFlows++
 	} else {
@@ -246,10 +289,24 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	out := st.rec // copy at classification time
 	if p.cfg.OnClassify != nil {
 		hookRec := st.rec
-		p.cfg.OnClassify(&hookRec, v)
+		p.cfg.OnClassify(&hookRec, info)
 	}
+	st.asm = hsAssembler{} // release only after the hook: info aliases it
 	return &out, nil
 }
+
+// maxHelloBytes resolves the Config.MaxHelloBytes default.
+func (p *Pipeline) maxHelloBytes() int {
+	if p.cfg.MaxHelloBytes == 0 {
+		return DefaultMaxHelloBytes
+	}
+	return p.cfg.MaxHelloBytes
+}
+
+// OversizedHandshakes reports how many flows were abandoned because their
+// buffered handshake bytes exceeded Config.MaxHelloBytes. Safe from any
+// goroutine.
+func (p *Pipeline) OversizedHandshakes() uint64 { return p.oversized.Load() }
 
 // isVideoPort is the port filter of the paper's tap: the providers' video
 // flows all ride 443. One predicate serves both the per-pipeline filter and

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"videoplat/internal/features"
 	"videoplat/internal/fingerprint"
@@ -73,6 +74,10 @@ func (b *Bank) UnmarshalBinary(data []byte) error {
 	b.Version = dto.Version
 	b.Config = dto.Config
 	b.models = map[bankKey]*Model{}
+	// Reset the lazily built serving index: a Bank reloaded in place must
+	// not keep dispatching through entries that point at the old models.
+	b.entriesOnce = sync.Once{}
+	b.entries = nil
 	for _, md := range dto.Models {
 		enc := &features.Encoder{}
 		if err := enc.UnmarshalBinary(md.Encoder); err != nil {

@@ -171,7 +171,7 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 				b := msg.batch
 				for i := range b.frames {
 					f := &b.frames[i]
-					rec, err := sh.p.handleKeyed(f.ts, b.arena[f.off:f.end], f.key, f.canon, f.payloadLen)
+					rec, err := sh.p.handleKeyed(f.ts, b.arena[f.off:f.end], f.key, f.canon, f.payloadLen, nil)
 					if err == nil && rec != nil {
 						s.deliver(rec)
 					}
@@ -321,16 +321,32 @@ type IngestStats struct {
 	// with the offered rate (deepen ShardQueueDepth, add shards, or accept
 	// the backpressure).
 	Stalls uint64 `json:"stalls"`
+	// OversizedHandshakes counts flows abandoned on the shard workers
+	// because their buffered handshake bytes exceeded Config.MaxHelloBytes
+	// (summed across shards).
+	OversizedHandshakes uint64 `json:"oversized_handshakes"`
 }
 
 // IngestStats snapshots the ingest counters. Safe from any goroutine.
 func (s *Sharded) IngestStats() IngestStats {
 	return IngestStats{
-		Ignored:        s.ignored.Load(),
-		Filtered:       s.filtered.Load(),
-		DroppedResults: s.dropped.Load(),
-		Stalls:         s.stalls.Load(),
+		Ignored:             s.ignored.Load(),
+		Filtered:            s.filtered.Load(),
+		DroppedResults:      s.dropped.Load(),
+		Stalls:              s.stalls.Load(),
+		OversizedHandshakes: s.OversizedHandshakes(),
 	}
+}
+
+// OversizedHandshakes sums the per-shard count of flows abandoned because
+// their buffered handshake bytes exceeded Config.MaxHelloBytes. Safe from
+// any goroutine.
+func (s *Sharded) OversizedHandshakes() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.p.OversizedHandshakes()
+	}
+	return n
 }
 
 // Dropped reports how many results were discarded because the consumer was

@@ -31,17 +31,16 @@ func trainBank(t testing.TB, seed uint64, cfg ml.ForestConfig) *pipeline.Bank {
 
 // classifyAll runs every flow of ds through bank, returning the records and
 // extracted features the serving pipeline would hand to OnClassify.
-func classifyAll(t testing.TB, bank *pipeline.Bank, ds *tracegen.Dataset) ([]*pipeline.FlowRecord, []*features.FieldValues) {
+func classifyAll(t testing.TB, bank *pipeline.Bank, ds *tracegen.Dataset) ([]*pipeline.FlowRecord, []*features.HandshakeInfo) {
 	t.Helper()
 	var recs []*pipeline.FlowRecord
-	var vals []*features.FieldValues
+	var infos []*features.HandshakeInfo
 	for _, ft := range ds.Flows {
 		info, err := pipeline.ExtractTrace(ft)
 		if err != nil {
 			t.Fatal(err)
 		}
-		v := features.Extract(info)
-		pred, err := bank.Classify(ft.Provider, ft.Transport, v)
+		pred, err := bank.ClassifyHandshake(ft.Provider, ft.Transport, info, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -49,9 +48,9 @@ func classifyAll(t testing.TB, bank *pipeline.Bank, ds *tracegen.Dataset) ([]*pi
 			Classified: true, Provider: ft.Provider, Transport: ft.Transport,
 			Prediction: pred, ModelVersion: bank.Version,
 		})
-		vals = append(vals, v)
+		infos = append(infos, info)
 	}
-	return recs, vals
+	return recs, infos
 }
 
 func TestPromoteRollbackRoundTripThroughDisk(t *testing.T) {

@@ -163,12 +163,12 @@ func (rt *Retrainer) Start(ctx context.Context) {
 // shadow reaches its verdict the candidate is promoted or rejected on a
 // separate goroutine, so the serving path never waits on registry disk IO.
 // Safe for concurrent use from shard goroutines.
-func (rt *Retrainer) ObserveClassified(rec *pipeline.FlowRecord, v *features.FieldValues) {
+func (rt *Retrainer) ObserveClassified(rec *pipeline.FlowRecord, hs *features.HandshakeInfo) {
 	se := rt.shadow.Load()
 	if se == nil {
 		return
 	}
-	if !se.sh.Observe(rec, v) {
+	if !se.sh.Observe(rec, hs) {
 		return
 	}
 	// Verdict is ready; exactly one observer claims the resolution.

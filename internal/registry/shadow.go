@@ -107,10 +107,12 @@ func NewShadow(candidate *pipeline.Bank, gate Gate) *Shadow {
 func (sh *Shadow) Candidate() *pipeline.Bank { return sh.candidate }
 
 // Observe offers one live classification (the active bank's record plus the
-// extracted handshake features) to the sampler. When the flow is sampled,
-// the candidate classifies the same features and the outcomes are
-// accumulated. Returns true once enough samples exist for a verdict.
-func (sh *Shadow) Observe(rec *pipeline.FlowRecord, v *features.FieldValues) bool {
+// assembled handshake) to the sampler. When the flow is sampled, the
+// candidate classifies the same handshake and the outcomes are accumulated.
+// The HandshakeInfo is only borrowed for the duration of the call, matching
+// the pipeline's OnClassify contract. Returns true once enough samples
+// exist for a verdict.
+func (sh *Shadow) Observe(rec *pipeline.FlowRecord, hs *features.HandshakeInfo) bool {
 	sh.mu.Lock()
 	sh.seen++
 	if sh.seen%sh.every != 0 {
@@ -121,8 +123,9 @@ func (sh *Shadow) Observe(rec *pipeline.FlowRecord, v *features.FieldValues) boo
 	sh.mu.Unlock()
 
 	// Classify outside the lock: forest prediction is read-only and this
-	// runs on the serving path's shard goroutines.
-	pred, err := sh.candidate.Classify(rec.Provider, rec.Transport, v)
+	// runs on the serving path's shard goroutines. The nil scratch keeps
+	// Shadow concurrency-safe; sampling bounds the allocation cost.
+	pred, err := sh.candidate.ClassifyHandshake(rec.Provider, rec.Transport, hs, nil)
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -79,6 +79,11 @@ type Config struct {
 	// ResultsBuffer is the classified-results channel capacity
 	// (0 = pipeline default, scaled by shard count).
 	ResultsBuffer int
+	// MaxHelloBytes caps per-flow buffered handshake bytes while waiting
+	// for a complete ClientHello (0 = pipeline default; <0 = unbounded).
+	// Flows over the cap are abandoned and counted as
+	// oversized_handshakes in /stats and /metrics.
+	MaxHelloBytes int
 	// Sink receives sealed rollup windows (nil = discard).
 	Sink telemetry.Sink
 
@@ -172,6 +177,7 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 	pcfg := pipeline.Config{
 		ShardQueueDepth: cfg.ShardQueueDepth,
 		ResultsBuffer:   cfg.ResultsBuffer,
+		MaxHelloBytes:   cfg.MaxHelloBytes,
 		OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
 			s.evictions <- rec
 		},
@@ -181,12 +187,12 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		// complete classification stream, and the retrainer's shadow
 		// evaluation samples from it. Runs on shard goroutines; both
 		// consumers are concurrency-safe and non-blocking.
-		pcfg.OnClassify = func(rec *pipeline.FlowRecord, v *features.FieldValues) {
+		pcfg.OnClassify = func(rec *pipeline.FlowRecord, hs *features.HandshakeInfo) {
 			if cfg.Drift != nil {
 				cfg.Drift.Observe(rec)
 			}
 			if cfg.Retrainer != nil {
-				cfg.Retrainer.ObserveClassified(rec, v)
+				cfg.Retrainer.ObserveClassified(rec, hs)
 			}
 		}
 	}
@@ -462,6 +468,9 @@ type Stats struct {
 		// Stalls counts ingest submissions that blocked on a full shard
 		// inbox (backpressure, not loss).
 		Stalls uint64 `json:"stalls"`
+		// OversizedHandshakes counts flows abandoned because their
+		// buffered handshake bytes exceeded the MaxHelloBytes cap.
+		OversizedHandshakes uint64 `json:"oversized_handshakes"`
 	} `json:"ingest"`
 
 	ClassifiedFlows uint64            `json:"classified_flows"`
@@ -519,6 +528,7 @@ func (s *Server) Snapshot() Stats {
 	st.Ingest.IgnoredFrames = ing.Ignored
 	st.Ingest.FilteredFrames = ing.Filtered
 	st.Ingest.Stalls = ing.Stalls
+	st.Ingest.OversizedHandshakes = ing.OversizedHandshakes
 	st.ClassifiedFlows = s.classified.Load()
 	st.UnknownFlows = s.unknown.Load()
 	st.FinalizedFlows = s.finalized.Load()
@@ -667,6 +677,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	metric("videoplat_ingest_frames_ignored_total", "counter", "Frames dropped at ingest (unparseable or non-TCP/UDP).", float64(st.Ingest.IgnoredFrames))
 	metric("videoplat_ingest_frames_filtered_total", "counter", "Decodable flows dropped at ingest by the port-443 video filter.", float64(st.Ingest.FilteredFrames))
 	metric("videoplat_ingest_stalls_total", "counter", "Ingest submissions that blocked on a full shard inbox.", float64(st.Ingest.Stalls))
+	metric("videoplat_ingest_oversized_handshakes_total", "counter", "Flows abandoned because buffered handshake bytes exceeded the cap.", float64(st.Ingest.OversizedHandshakes))
 	metric("videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", float64(st.Rollup.Sealed))
 	b = append(b, "# HELP videoplat_model_active_info Active model bank version (value is always 1).\n# TYPE videoplat_model_active_info gauge\n"...)
 	b = append(b, fmt.Sprintf("videoplat_model_active_info{version=%q} 1\n", st.Models.ActiveVersion)...)

@@ -1,0 +1,155 @@
+package tlsproto
+
+import "videoplat/internal/wire"
+
+// Append-style accessors for the list-valued extension bodies. They parse
+// exactly like their slice-returning counterparts (which delegate to them)
+// but append into a caller-provided buffer, so a hot serving path can reuse
+// one scratch slice per worker and walk extension lists without allocating.
+// The returned slice is buf extended with the parsed values; when the
+// extension is absent, buf is returned unchanged. Malformed bodies yield the
+// same (possibly partial) value sequence the original accessors produced.
+
+// AppendUint16List appends the values of a 2-byte-length-prefixed uint16
+// list extension (supported_groups, signature_algorithms,
+// delegated_credentials) to buf.
+func (ch *ClientHello) AppendUint16List(typ uint16, buf []uint16) []uint16 {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return buf
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return buf
+	}
+	for i := 0; i < int(listLen)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return buf
+		}
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// AppendSupportedVersions appends the offered TLS versions
+// (1-byte-length-prefixed uint16 list) to buf.
+func (ch *ClientHello) AppendSupportedVersions(buf []uint16) []uint16 {
+	e, ok := ch.Extension(ExtSupportedVersions)
+	if !ok {
+		return buf
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil || int(n) > r.Len() {
+		return buf
+	}
+	for i := 0; i < int(n)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return buf
+		}
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// AppendKeyShareGroups appends the named groups for which key shares are
+// offered to buf, skipping the key material.
+func (ch *ClientHello) AppendKeyShareGroups(buf []uint16) []uint16 {
+	e, ok := ch.Extension(ExtKeyShare)
+	if !ok {
+		return buf
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return buf
+	}
+	for r.Len() >= 4 {
+		group, err := r.Uint16()
+		if err != nil {
+			return buf
+		}
+		keyLen, err := r.Uint16()
+		if err != nil {
+			return buf
+		}
+		if err := r.Skip(int(keyLen)); err != nil {
+			return buf
+		}
+		buf = append(buf, group)
+	}
+	return buf
+}
+
+// AppendCompressCertAlgorithms appends the certificate-compression algorithm
+// codes (1-byte-length-prefixed uint16 list) to buf.
+func (ch *ClientHello) AppendCompressCertAlgorithms(buf []uint16) []uint16 {
+	e, ok := ch.Extension(ExtCompressCertificate)
+	if !ok {
+		return buf
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil || int(n) > r.Len() {
+		return buf
+	}
+	for i := 0; i < int(n)/2; i++ {
+		v, err := r.Uint16()
+		if err != nil {
+			return buf
+		}
+		buf = append(buf, v)
+	}
+	return buf
+}
+
+// U8PrefixedBytes returns the 1-byte-length-prefixed body of an extension
+// (ec_point_formats, psk_key_exchange_modes), or nil if the extension is
+// absent or truncated. The returned slice aliases the extension data.
+func (ch *ClientHello) U8PrefixedBytes(typ uint16) []byte {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return nil
+	}
+	r := wire.NewReader(e.Data)
+	n, err := r.Uint8()
+	if err != nil {
+		return nil
+	}
+	b, err := r.Bytes(int(n))
+	if err != nil {
+		return nil
+	}
+	return b
+}
+
+// AppendALPN appends the protocol names of an ALPN-shaped extension (ALPN
+// itself or ALPS/application_settings) to buf. The appended byte slices
+// alias the extension data — they are valid as long as the ClientHello's
+// backing buffer is.
+func (ch *ClientHello) AppendALPN(typ uint16, buf [][]byte) [][]byte {
+	e, ok := ch.Extension(typ)
+	if !ok {
+		return buf
+	}
+	r := wire.NewReader(e.Data)
+	listLen, err := r.Uint16()
+	if err != nil || int(listLen) > r.Len() {
+		return buf
+	}
+	for r.Len() > 0 {
+		n, err := r.Uint8()
+		if err != nil {
+			return buf
+		}
+		name, err := r.Bytes(int(n))
+		if err != nil {
+			return buf
+		}
+		buf = append(buf, name)
+	}
+	return buf
+}

@@ -161,42 +161,12 @@ func (ch *ClientHello) DelegatedCredentials() []uint16 {
 }
 
 func (ch *ClientHello) uint16List(typ uint16) []uint16 {
-	e, ok := ch.Extension(typ)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	listLen, err := r.Uint16()
-	if err != nil || int(listLen) > r.Len() {
-		return nil
-	}
-	out := make([]uint16, 0, listLen/2)
-	for i := 0; i < int(listLen)/2; i++ {
-		v, err := r.Uint16()
-		if err != nil {
-			return out
-		}
-		out = append(out, v)
-	}
-	return out
+	return ch.AppendUint16List(typ, nil)
 }
 
 // ECPointFormats returns the point-format list, or nil if absent.
 func (ch *ClientHello) ECPointFormats() []byte {
-	e, ok := ch.Extension(ExtECPointFormats)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	n, err := r.Uint8()
-	if err != nil {
-		return nil
-	}
-	b, err := r.Bytes(int(n))
-	if err != nil {
-		return nil
-	}
-	return b
+	return ch.U8PrefixedBytes(ExtECPointFormats)
 }
 
 // ALPNProtocols returns the ALPN protocol names in preference order.
@@ -210,25 +180,8 @@ func (ch *ClientHello) ApplicationSettings() []string {
 }
 
 func alpnList(ch *ClientHello, typ uint16) []string {
-	e, ok := ch.Extension(typ)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	listLen, err := r.Uint16()
-	if err != nil || int(listLen) > r.Len() {
-		return nil
-	}
 	var out []string
-	for r.Len() > 0 {
-		n, err := r.Uint8()
-		if err != nil {
-			return out
-		}
-		name, err := r.Bytes(int(n))
-		if err != nil {
-			return out
-		}
+	for _, name := range ch.AppendALPN(typ, nil) {
 		out = append(out, string(name))
 	}
 	return out
@@ -236,94 +189,23 @@ func alpnList(ch *ClientHello, typ uint16) []string {
 
 // SupportedVersions returns the offered TLS versions.
 func (ch *ClientHello) SupportedVersions() []uint16 {
-	e, ok := ch.Extension(ExtSupportedVersions)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	n, err := r.Uint8()
-	if err != nil || int(n) > r.Len() {
-		return nil
-	}
-	out := make([]uint16, 0, n/2)
-	for i := 0; i < int(n)/2; i++ {
-		v, err := r.Uint16()
-		if err != nil {
-			return out
-		}
-		out = append(out, v)
-	}
-	return out
+	return ch.AppendSupportedVersions(nil)
 }
 
 // PSKKeyExchangeModes returns the psk_key_exchange_modes list.
 func (ch *ClientHello) PSKKeyExchangeModes() []byte {
-	e, ok := ch.Extension(ExtPSKKeyExchangeModes)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	n, err := r.Uint8()
-	if err != nil {
-		return nil
-	}
-	b, err := r.Bytes(int(n))
-	if err != nil {
-		return nil
-	}
-	return b
+	return ch.U8PrefixedBytes(ExtPSKKeyExchangeModes)
 }
 
 // KeyShareGroups returns the named groups for which key shares are offered.
 func (ch *ClientHello) KeyShareGroups() []uint16 {
-	e, ok := ch.Extension(ExtKeyShare)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	listLen, err := r.Uint16()
-	if err != nil || int(listLen) > r.Len() {
-		return nil
-	}
-	var out []uint16
-	for r.Len() >= 4 {
-		group, err := r.Uint16()
-		if err != nil {
-			return out
-		}
-		keyLen, err := r.Uint16()
-		if err != nil {
-			return out
-		}
-		if err := r.Skip(int(keyLen)); err != nil {
-			return out
-		}
-		out = append(out, group)
-	}
-	return out
+	return ch.AppendKeyShareGroups(nil)
 }
 
 // CompressCertificateAlgorithms returns the certificate-compression
 // algorithm list (e.g. 1=zlib, 2=brotli, 3=zstd).
 func (ch *ClientHello) CompressCertificateAlgorithms() []uint16 {
-	e, ok := ch.Extension(ExtCompressCertificate)
-	if !ok {
-		return nil
-	}
-	r := wire.NewReader(e.Data)
-	n, err := r.Uint8()
-	if err != nil || int(n) > r.Len() {
-		return nil
-	}
-	out := make([]uint16, 0, n/2)
-	for i := 0; i < int(n)/2; i++ {
-		v, err := r.Uint16()
-		if err != nil {
-			return out
-		}
-		out = append(out, v)
-	}
-	return out
+	return ch.AppendCompressCertAlgorithms(nil)
 }
 
 // RecordSizeLimit returns the record_size_limit value, or 0 if absent.

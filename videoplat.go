@@ -57,6 +57,16 @@
 //     exposes it all over /models, /models/promote, /models/rollback and
 //     /models/export.
 //
+// The serving spine is built for line rate: ingest parses each frame
+// exactly once, per-flow handshakes are assembled incrementally (state-
+// machine reassembly in O(client bytes), bounded by
+// PipelineConfig.MaxHelloBytes), and classification runs a compiled
+// zero-allocation path — the bank's three objectives share one encode pass
+// over interned raw-wire-value tables (Bank.ClassifyHandshake), writing
+// into per-shard scratch instead of building per-flow maps and strings.
+// The fast path is byte-identical to the reference extraction path, pinned
+// by golden-equivalence tests.
+//
 // See examples/quickstart for an end-to-end batch walkthrough,
 // examples/serve-replay for the streaming daemon, examples/drift-retrain
 // for the forced-drift auto-promotion walkthrough, cmd/vpserve for the
@@ -69,6 +79,7 @@ import (
 	"time"
 
 	"videoplat/internal/drift"
+	"videoplat/internal/features"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/flowtable"
 	"videoplat/internal/ml"
@@ -106,10 +117,17 @@ type (
 	// ForestConfig holds the random-forest hyperparameters.
 	ForestConfig = ml.ForestConfig
 
-	// PipelineConfig bounds a pipeline's flow table for long-running use
-	// and sizes a sharded pipeline's queues (ShardQueueDepth,
-	// ResultsBuffer).
+	// PipelineConfig bounds a pipeline's flow table for long-running use,
+	// sizes a sharded pipeline's queues (ShardQueueDepth, ResultsBuffer)
+	// and caps per-flow buffered handshake bytes (MaxHelloBytes).
 	PipelineConfig = pipeline.Config
+	// HandshakeInfo is a flow's assembled handshake state — what
+	// PipelineConfig.OnClassify receives and Bank.ClassifyHandshake
+	// consumes.
+	HandshakeInfo = features.HandshakeInfo
+	// ClassifyScratch holds a worker's reusable classification buffers for
+	// the zero-allocation Bank.ClassifyHandshake fast path.
+	ClassifyScratch = pipeline.ClassifyScratch
 	// ShardedPipeline fans packets across per-shard Pipelines by flow
 	// hash, parsing each frame exactly once at ingest — the multi-queue
 	// deployment shape of the paper's §4.3.3 prototype.
