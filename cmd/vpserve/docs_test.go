@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"regexp"
+	"testing"
+
+	"videoplat/internal/server"
+)
+
+// These tests pin docs/OPERATIONS.md to the code it documents: the
+// registered vpserve flag set, the operations API route table and the
+// /metrics catalog. Adding a flag, endpoint or metric without documenting
+// it — or documenting one that no longer exists — fails CI.
+
+func operationsDoc(t *testing.T) string {
+	t.Helper()
+	doc, err := os.ReadFile("../../docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatalf("reading runbook: %v", err)
+	}
+	return string(doc)
+}
+
+func TestOperationsDocCoversFlags(t *testing.T) {
+	fs := flag.NewFlagSet("vpserve", flag.ContinueOnError)
+	registerFlags(fs)
+	doc := operationsDoc(t)
+
+	registered := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) {
+		registered[f.Name] = true
+		if !regexp.MustCompile("`-" + regexp.QuoteMeta(f.Name) + "`").MatchString(doc) {
+			t.Errorf("flag -%s is not documented in docs/OPERATIONS.md (add a `-%s` table row)", f.Name, f.Name)
+		}
+	})
+	if len(registered) == 0 {
+		t.Fatal("no flags registered")
+	}
+
+	// The reverse direction: every `-flag` the runbook mentions must still
+	// exist, so renames and removals can't leave stale documentation.
+	for _, m := range regexp.MustCompile("`-([a-z][a-z0-9-]*)`").FindAllStringSubmatch(doc, -1) {
+		if !registered[m[1]] {
+			t.Errorf("docs/OPERATIONS.md documents `-%s`, which is not a registered vpserve flag", m[1])
+		}
+	}
+}
+
+func TestOperationsDocCoversEndpoints(t *testing.T) {
+	doc := operationsDoc(t)
+	endpoints := server.Endpoints()
+	if len(endpoints) == 0 {
+		t.Fatal("no endpoints registered")
+	}
+	for _, pattern := range endpoints {
+		if !regexp.MustCompile("`" + regexp.QuoteMeta(pattern) + "`").MatchString(doc) {
+			t.Errorf("endpoint %q is not documented in docs/OPERATIONS.md (add a `%s` section)", pattern, pattern)
+		}
+	}
+}
+
+func TestOperationsDocCoversMetrics(t *testing.T) {
+	doc := operationsDoc(t)
+	names := server.MetricNames()
+	if len(names) == 0 {
+		t.Fatal("no metrics in catalog")
+	}
+	catalog := map[string]bool{}
+	for _, name := range names {
+		catalog[name] = true
+		if !regexp.MustCompile("`" + regexp.QuoteMeta(name) + "`").MatchString(doc) {
+			t.Errorf("metric %s is not documented in docs/OPERATIONS.md (add a `%s` table row)", name, name)
+		}
+	}
+	// Reverse: every series the runbook names must still be emitted.
+	for _, m := range regexp.MustCompile(`videoplat_[a-z_]+`).FindAllString(doc, -1) {
+		if !catalog[m] {
+			t.Errorf("docs/OPERATIONS.md documents %s, which is not in the /metrics catalog", m)
+		}
+	}
+}

@@ -2,9 +2,17 @@
 // capture (or generates synthetic traffic) through the sharded
 // classification pipeline with bounded per-shard flow tables, rolls
 // finalized flows into tumbling telemetry windows written as JSONL, and
-// serves an operations API (/stats, /flows, /healthz, /metrics) while it
-// runs. SIGINT/SIGTERM trigger a graceful shutdown that drains the shards
-// and flushes the final partial window.
+// serves an operations API (/stats, /flows, /windows, /query, /healthz,
+// /metrics) while it runs. SIGINT/SIGTERM trigger a graceful shutdown that
+// drains the shards and flushes the final partial window.
+//
+// Sealed windows are retained in a queryable in-memory store, so
+// longitudinal questions — per-provider traffic over the last day,
+// per-platform bandwidth by the hour — are answered live from /query
+// instead of post-processing rollup files. -telemetry-retain bounds the
+// store (count or age), -telemetry-tiers adds coarser downsampling
+// resolutions so long ranges stay cheap, and -telemetry-persist keeps the
+// history in a JSONL file that is reloaded on restart.
 //
 // With -registry-dir the daemon keeps its banks in a versioned model
 // registry: /models lists the version history, /models/promote and
@@ -20,7 +28,10 @@
 //	vpserve -model bank.gob -pcap capture.pcap -rate 5000 -rollup windows.jsonl
 //	vpserve -synth 500 -addr :8080            # self-train a demo bank, synthetic load
 //	vpserve -pcap capture.pcap -exit-when-done
+//	vpserve -synth 400 -telemetry-tiers 10m,1h -telemetry-persist history.jsonl
 //	vpserve -registry-dir ./models -auto-retrain -synth 400 -synth-drift-after 150
+//
+// See docs/OPERATIONS.md for the full flag, endpoint and metrics reference.
 package main
 
 import (
@@ -29,6 +40,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,40 +55,87 @@ import (
 	"videoplat/internal/tracegen"
 )
 
-func main() {
-	var (
-		addr         = flag.String("addr", "127.0.0.1:8080", "operations API listen address")
-		model        = flag.String("model", "", "trained model from vptrain (default: self-train a small demo bank)")
-		pcapPath     = flag.String("pcap", "", "pcap/pcapng file to replay")
-		synth        = flag.Int("synth", 0, "generate N synthetic video sessions instead of replaying a file (0 with no -pcap: unlimited)")
-		seed         = flag.Uint64("seed", 1, "seed for synthetic traffic and self-training")
-		rate         = flag.Float64("rate", 0, "replay pace in packets/sec (0 = as fast as possible)")
-		shards       = flag.Int("shards", 0, "pipeline shards (0 = GOMAXPROCS)")
-		batchSize    = flag.Int("batch-size", 0, "frames read and dispatched per ingest batch (0 = default 64)")
-		shardQueue   = flag.Int("shard-queue", 0, "per-shard ingest inbox depth in batches (0 = default 64)")
-		resultsBuf   = flag.Int("results-buffer", 0, "classified-results channel capacity (0 = 64 per shard)")
-		maxHello     = flag.Int("max-hello-bytes", 0, "per-flow buffered handshake byte cap (0 = default 64KiB, <0 = unbounded); oversized flows are abandoned and counted")
-		maxFlows     = flag.Int("max-flows", 65536, "flow-table cap across shards (<0 = unbounded)")
-		idleTimeout  = flag.Duration("idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
-		window       = flag.Duration("window", time.Minute, "rollup window width")
-		rollupOut    = flag.String("rollup", "", "JSONL file receiving sealed rollup windows (default: discard)")
-		trainScale   = flag.Float64("train-scale", 0.04, "lab-dataset scale for self-trained and retrained banks")
-		exitWhenDone = flag.Bool("exit-when-done", false, "shut down once the replay source is exhausted")
+// options holds every parsed vpserve flag.
+type options struct {
+	addr         string
+	model        string
+	pcapPath     string
+	synth        int
+	seed         uint64
+	rate         float64
+	shards       int
+	batchSize    int
+	shardQueue   int
+	resultsBuf   int
+	maxHello     int
+	maxFlows     int
+	idleTimeout  time.Duration
+	window       time.Duration
+	rollupOut    string
+	trainScale   float64
+	exitWhenDone bool
 
-		registryDir = flag.String("registry-dir", "", "versioned model registry directory (enables /models, promote/rollback hot-swap)")
-		autoRetrain = flag.Bool("auto-retrain", false, "retrain and shadow-promote a new bank when drift is detected (requires -registry-dir)")
-		driftWindow = flag.Int("drift-window", 0, "recent predictions per classifier for drift detection (0 = monitor default 500; size to your traffic)")
-		driftDrop   = flag.Float64("drift-drop", 0, "median-confidence drop that flags a classifier (0 = monitor default 0.10)")
-		cooldown    = flag.Duration("retrain-cooldown", time.Minute, "minimum gap between retrain attempts")
-		shadowRate  = flag.Float64("shadow-sample", 0.25, "fraction of live classifications shadow-evaluated by a candidate bank")
-		shadowFlows = flag.Int("shadow-flows", 200, "shadow classifications required before a promote/reject verdict")
-		shadowAgree = flag.Float64("shadow-agreement", 0.5, "minimum candidate/active agreement on flows both predict confidently (0 = gate default 0.5, negative disables)")
-		saveOnExit  = flag.String("save-on-exit", "", "write the bank active at shutdown to this file (captures retrained banks)")
-		driftAfter  = flag.Int("synth-drift-after", 0, "inject open-set platform drift after N synthetic sessions (0 = never)")
-	)
+	telemetryRetain  string
+	telemetryTiers   string
+	telemetryPersist string
+
+	registryDir string
+	autoRetrain bool
+	driftWindow int
+	driftDrop   float64
+	cooldown    time.Duration
+	shadowRate  float64
+	shadowFlows int
+	shadowAgree float64
+	saveOnExit  string
+	driftAfter  int
+}
+
+// registerFlags binds the complete vpserve flag set onto fs. The
+// documentation drift test enumerates fs to verify docs/OPERATIONS.md
+// covers every flag, so a flag cannot be added without it.
+func registerFlags(fs *flag.FlagSet) *options {
+	o := &options{}
+	fs.StringVar(&o.addr, "addr", "127.0.0.1:8080", "operations API listen address")
+	fs.StringVar(&o.model, "model", "", "trained model from vptrain (default: self-train a small demo bank)")
+	fs.StringVar(&o.pcapPath, "pcap", "", "pcap/pcapng file to replay")
+	fs.IntVar(&o.synth, "synth", 0, "generate N synthetic video sessions instead of replaying a file (0 with no -pcap: unlimited)")
+	fs.Uint64Var(&o.seed, "seed", 1, "seed for synthetic traffic and self-training")
+	fs.Float64Var(&o.rate, "rate", 0, "replay pace in packets/sec (0 = as fast as possible)")
+	fs.IntVar(&o.shards, "shards", 0, "pipeline shards (0 = GOMAXPROCS)")
+	fs.IntVar(&o.batchSize, "batch-size", 0, "frames read and dispatched per ingest batch (0 = default 64)")
+	fs.IntVar(&o.shardQueue, "shard-queue", 0, "per-shard ingest inbox depth in batches (0 = default 64)")
+	fs.IntVar(&o.resultsBuf, "results-buffer", 0, "classified-results channel capacity (0 = 64 per shard)")
+	fs.IntVar(&o.maxHello, "max-hello-bytes", 0, "per-flow buffered handshake byte cap (0 = default 64KiB, <0 = unbounded); oversized flows are abandoned and counted")
+	fs.IntVar(&o.maxFlows, "max-flows", 65536, "flow-table cap across shards (<0 = unbounded)")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 90*time.Second, "evict flows idle for this long, in trace time (<0 = never)")
+	fs.DurationVar(&o.window, "window", time.Minute, "rollup window width")
+	fs.StringVar(&o.rollupOut, "rollup", "", "JSONL file receiving sealed rollup windows (default: discard)")
+	fs.Float64Var(&o.trainScale, "train-scale", 0.04, "lab-dataset scale for self-trained and retrained banks")
+	fs.BoolVar(&o.exitWhenDone, "exit-when-done", false, "shut down once the replay source is exhausted")
+
+	fs.StringVar(&o.telemetryRetain, "telemetry-retain", "1440", "telemetry store retention per tier: a window count (e.g. 1440) or a trace-time age (e.g. 24h)")
+	fs.StringVar(&o.telemetryTiers, "telemetry-tiers", "auto", "comma-separated downsampling widths for /query over long ranges (auto = 10x and 60x -window; none = raw only)")
+	fs.StringVar(&o.telemetryPersist, "telemetry-persist", "", "JSONL file persisting the telemetry store across restarts (reloaded at startup, appended while serving)")
+
+	fs.StringVar(&o.registryDir, "registry-dir", "", "versioned model registry directory (enables /models, promote/rollback hot-swap)")
+	fs.BoolVar(&o.autoRetrain, "auto-retrain", false, "retrain and shadow-promote a new bank when drift is detected (requires -registry-dir)")
+	fs.IntVar(&o.driftWindow, "drift-window", 0, "recent predictions per classifier for drift detection (0 = monitor default 500; size to your traffic)")
+	fs.Float64Var(&o.driftDrop, "drift-drop", 0, "median-confidence drop that flags a classifier (0 = monitor default 0.10)")
+	fs.DurationVar(&o.cooldown, "retrain-cooldown", time.Minute, "minimum gap between retrain attempts")
+	fs.Float64Var(&o.shadowRate, "shadow-sample", 0.25, "fraction of live classifications shadow-evaluated by a candidate bank")
+	fs.IntVar(&o.shadowFlows, "shadow-flows", 200, "shadow classifications required before a promote/reject verdict")
+	fs.Float64Var(&o.shadowAgree, "shadow-agreement", 0.5, "minimum candidate/active agreement on flows both predict confidently (0 = gate default 0.5, negative disables)")
+	fs.StringVar(&o.saveOnExit, "save-on-exit", "", "write the bank active at shutdown to this file (captures retrained banks)")
+	fs.IntVar(&o.driftAfter, "synth-drift-after", 0, "inject open-set platform drift after N synthetic sessions (0 = never)")
+	return o
+}
+
+func main() {
+	o := registerFlags(flag.CommandLine)
 	flag.Parse()
 
-	bank := loadOrTrainBank(*model, *seed, *trainScale)
+	bank := loadOrTrainBank(o.model, o.seed, o.trainScale)
 
 	// Model lifecycle: registry, drift monitor, retrainer.
 	var (
@@ -83,46 +143,46 @@ func main() {
 		mon *drift.Monitor
 		rt  *registry.Retrainer
 	)
-	if *registryDir != "" {
+	if o.registryDir != "" {
 		var err error
-		reg, err = registry.New(registry.Config{Dir: *registryDir})
+		reg, err = registry.New(registry.Config{Dir: o.registryDir})
 		exitOn(err)
-		if cur := reg.Current(); cur != nil && *model == "" {
+		if cur := reg.Current(); cur != nil && o.model == "" {
 			// A previous run left an active version; prefer it over
 			// self-training from scratch.
 			bank = cur.Bank
 			fmt.Fprintf(os.Stderr, "vpserve: serving registry version %s from %s\n",
-				cur.Manifest.ID, *registryDir)
+				cur.Manifest.ID, o.registryDir)
 		} else {
 			reason := "initial (self-trained)"
-			if *model != "" {
-				reason = fmt.Sprintf("operator import: %s", *model)
+			if o.model != "" {
+				reason = fmt.Sprintf("operator import: %s", o.model)
 			}
-			m, err := reg.Add(bank, reason, *seed)
+			m, err := reg.Add(bank, reason, o.seed)
 			exitOn(err)
 			v, err := reg.Promote(m.ID)
 			exitOn(err)
 			bank = v.Bank // serve the registry's copy, not the Add argument
-			fmt.Fprintf(os.Stderr, "vpserve: registered bank as %s in %s\n", m.ID, *registryDir)
+			fmt.Fprintf(os.Stderr, "vpserve: registered bank as %s in %s\n", m.ID, o.registryDir)
 		}
 		mon = drift.NewMonitor(drift.Config{
-			Window:         *driftWindow,
-			ConfidenceDrop: *driftDrop,
+			Window:         o.driftWindow,
+			ConfidenceDrop: o.driftDrop,
 		})
 	}
-	if *autoRetrain {
+	if o.autoRetrain {
 		if reg == nil {
 			exitOn(fmt.Errorf("-auto-retrain requires -registry-dir"))
 		}
 		var err error
 		rt, err = registry.NewRetrainer(reg, registry.RetrainerConfig{
-			Train:    retrainFunc(*trainScale, *driftAfter > 0),
-			Seed:     *seed + 1000,
-			Cooldown: *cooldown,
+			Train:    retrainFunc(o.trainScale, o.driftAfter > 0),
+			Seed:     o.seed + 1000,
+			Cooldown: o.cooldown,
 			Gate: registry.Gate{
-				SampleRate:   *shadowRate,
-				MinFlows:     *shadowFlows,
-				MinAgreement: *shadowAgree,
+				SampleRate:   o.shadowRate,
+				MinFlows:     o.shadowFlows,
+				MinAgreement: o.shadowAgree,
 			},
 		})
 		exitOn(err)
@@ -131,47 +191,52 @@ func main() {
 
 	var src server.Source
 	switch {
-	case *pcapPath != "":
+	case o.pcapPath != "":
 		var err error
-		src, err = server.OpenFileSource(*pcapPath)
+		src, err = server.OpenFileSource(o.pcapPath)
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "vpserve: replaying %s\n", *pcapPath)
+		fmt.Fprintf(os.Stderr, "vpserve: replaying %s\n", o.pcapPath)
 	default:
-		src = server.NewDriftingSynthSource(*seed, *synth, *driftAfter)
+		src = server.NewDriftingSynthSource(o.seed, o.synth, o.driftAfter)
 		fmt.Fprintf(os.Stderr, "vpserve: generating synthetic traffic (%v sessions%s)\n",
-			sessionsDesc(*synth), driftDesc(*driftAfter))
+			sessionsDesc(o.synth), driftDesc(o.driftAfter))
 	}
 
 	var sink telemetry.Sink
-	if *rollupOut != "" {
-		f, err := os.Create(*rollupOut)
+	if o.rollupOut != "" {
+		f, err := os.Create(o.rollupOut)
 		exitOn(err)
 		defer f.Close()
 		sink = telemetry.NewJSONLSink(f)
 	}
 
+	store, closeStore, err := buildStore(o.window, o.telemetryRetain, o.telemetryTiers, o.telemetryPersist)
+	exitOn(err)
+	defer closeStore()
+
 	srv, err := server.New(bank, src, server.Config{
-		Addr:            *addr,
-		Shards:          *shards,
-		MaxFlows:        *maxFlows,
-		IdleTimeout:     *idleTimeout,
-		WindowWidth:     *window,
-		Rate:            *rate,
-		BatchSize:       *batchSize,
-		ShardQueueDepth: *shardQueue,
-		ResultsBuffer:   *resultsBuf,
-		MaxHelloBytes:   *maxHello,
+		Addr:            o.addr,
+		Shards:          o.shards,
+		MaxFlows:        o.maxFlows,
+		IdleTimeout:     o.idleTimeout,
+		WindowWidth:     o.window,
+		Rate:            o.rate,
+		BatchSize:       o.batchSize,
+		ShardQueueDepth: o.shardQueue,
+		ResultsBuffer:   o.resultsBuf,
+		MaxHelloBytes:   o.maxHello,
 		Sink:            sink,
+		Store:           store,
 		Registry:        reg,
 		Drift:           mon,
 		Retrainer:       rt,
 	})
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /models /healthz /metrics)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /windows /query /models /healthz /metrics)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	if *exitWhenDone {
+	if o.exitWhenDone {
 		inner := ctx
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithCancel(ctx)
@@ -190,14 +255,15 @@ func main() {
 
 	st := srv.Snapshot()
 	fmt.Fprintf(os.Stderr,
-		"vpserve: done — %d packets in %d batches (%d ignored, %d stalls), %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows, model %s (%d swaps)\n",
+		"vpserve: done — %d packets in %d batches (%d ignored, %d stalls), %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows (%d retained, %d evicted from store), model %s (%d swaps)\n",
 		st.Replay.Packets, st.Ingest.Batches, st.Ingest.IgnoredFrames, st.Ingest.Stalls,
 		st.FlowTable.Inserted,
 		st.FlowTable.EvictedIdle, st.FlowTable.EvictedCap,
 		st.ClassifiedFlows, st.Rollup.Sealed,
+		st.Rollup.Store.Tiers[0].Windows, st.Rollup.Store.EvictedCount+st.Rollup.Store.EvictedAge,
 		st.Models.ActiveVersion, st.Models.Swaps)
 
-	if *saveOnExit != "" {
+	if o.saveOnExit != "" {
 		active := bank
 		if reg != nil {
 			if cur := reg.Current(); cur != nil {
@@ -206,10 +272,73 @@ func main() {
 		}
 		blob, err := active.MarshalBinary()
 		exitOn(err)
-		exitOn(os.WriteFile(*saveOnExit, blob, 0o644))
+		exitOn(os.WriteFile(o.saveOnExit, blob, 0o644))
 		fmt.Fprintf(os.Stderr, "vpserve: saved active bank (%s, %d bytes) to %s\n",
-			st.Models.ActiveVersion, len(blob), *saveOnExit)
+			st.Models.ActiveVersion, len(blob), o.saveOnExit)
 	}
+}
+
+// buildStore assembles the daemon's telemetry window store from the
+// -telemetry-* flags: retention (a count or an age), downsampling tiers
+// relative to the rollup width, and optional JSONL persistence whose
+// existing history is reloaded before the daemon starts.
+func buildStore(window time.Duration, retain, tiers, persist string) (*telemetry.Store, func(), error) {
+	cfg := telemetry.StoreConfig{}
+	if n, err := strconv.Atoi(retain); err == nil {
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("-telemetry-retain %q: count must be positive", retain)
+		}
+		cfg.MaxWindows = n
+	} else if age, err := time.ParseDuration(retain); err == nil {
+		if age <= 0 {
+			return nil, nil, fmt.Errorf("-telemetry-retain %q: age must be positive", retain)
+		}
+		cfg.MaxAge = age
+		cfg.MaxWindows = -1 // the age horizon is the sole bound
+	} else {
+		return nil, nil, fmt.Errorf("-telemetry-retain %q: want a window count (1440) or an age (24h)", retain)
+	}
+
+	switch tiers {
+	case "auto":
+		cfg.Tiers = []time.Duration{10 * window, 60 * window}
+	case "none":
+	default:
+		for _, part := range strings.Split(tiers, ",") {
+			d, err := time.ParseDuration(strings.TrimSpace(part))
+			if err != nil || d <= 0 {
+				return nil, nil, fmt.Errorf("-telemetry-tiers %q: bad width %q (want durations like 10m,1h)", tiers, part)
+			}
+			// A tier no coarser than the window duplicates raw windows for
+			// zero resolution gain; a non-multiple mis-aligns buckets so
+			// whole windows land in ranges their flows don't occupy.
+			if d <= window || d%window != 0 {
+				return nil, nil, fmt.Errorf("-telemetry-tiers %q: width %s must be a multiple of -window %s, coarser than it", tiers, d, window)
+			}
+			cfg.Tiers = append(cfg.Tiers, d)
+		}
+	}
+
+	if persist == "" {
+		return telemetry.NewStore(cfg), func() {}, nil
+	}
+	f, err := os.OpenFile(persist, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-telemetry-persist: %w", err)
+	}
+	cfg.Persist = telemetry.NewJSONLSink(f)
+	store := telemetry.NewStore(cfg)
+	// Reload leaves the file position at EOF, so the sink appends after
+	// the restored history.
+	n, err := store.Reload(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("-telemetry-persist %s: %v (repair or remove the file)", persist, err)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "vpserve: reloaded %d telemetry windows from %s\n", n, persist)
+	}
+	return store, func() { f.Close() }, nil
 }
 
 // retrainFunc regenerates "fresh ground truth" for a replacement bank. The

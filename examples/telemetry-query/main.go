@@ -1,0 +1,174 @@
+// Telemetry-query: the capacity-planning scenario (examples/capacity-planning)
+// reworked as live queries against a running daemon. Instead of batch-feeding
+// flows into an Aggregator offline, the daemon replays a synthetic workload,
+// rolls finalized flows into 1-minute windows, retains them in the queryable
+// telemetry store (with a 5-minute downsampling tier and JSONL persistence),
+// and an "operator" asks the questions over HTTP while and after it runs:
+// which provider dominates the evening, what bandwidth should each platform
+// be provisioned for, and what history survives a restart.
+//
+// This is the in-process equivalent of:
+//
+//	vpserve -synth 40 -window 1m -telemetry-tiers 5m \
+//	        -telemetry-persist history.jsonl -exit-when-done
+//	curl 'localhost:8080/query?by=provider&step=5m'
+//	curl 'localhost:8080/query?by=platform'
+//	curl 'localhost:8080/windows?tier=5m'
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"videoplat"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "telemetry-query")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	histPath := filepath.Join(dir, "history.jsonl")
+
+	// 1. Train a small classifier bank.
+	ds, err := videoplat.GenerateLabDataset(1, 0.04)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bank, err := videoplat.Train(ds, videoplat.ForestConfig{
+		NumTrees: 15, MaxDepth: 20, MaxFeatures: 34, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build a telemetry store with a 5-minute downsampling tier and
+	//    JSONL persistence, and a daemon replaying 40 synthetic sessions.
+	hist, err := os.OpenFile(histPath, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := videoplat.NewTelemetryStore(videoplat.TelemetryStoreConfig{
+		Tiers:   []time.Duration{5 * time.Minute},
+		Persist: videoplat.NewJSONLSink(hist),
+	})
+	srv, err := videoplat.NewServer(bank, videoplat.NewSynthSource(11, 40), videoplat.ServeConfig{
+		Addr:        "127.0.0.1:0",
+		WindowWidth: time.Minute,
+		Store:       store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- srv.Run(ctx) }()
+	base := "http://" + srv.Addr()
+	fmt.Printf("daemon up: %s\n", base)
+
+	// 3. Wait for the replay, then query the daemon like a capacity
+	//    planner would.
+	<-srv.ReplayDone()
+	for srv.Store().Stats().Tiers[0].Windows == 0 {
+		time.Sleep(10 * time.Millisecond) // let the first evictions roll up
+	}
+
+	fmt.Println("\n--- provider demand over time (/query?by=provider&step=5m) ---")
+	var byProv videoplat.QueryResult
+	getJSON(base+"/query?by=provider&step=5m", &byProv)
+	for _, sr := range byProv.Series {
+		fmt.Printf("  %-10s", sr.Key)
+		var bytes int64
+		for _, p := range sr.Points {
+			fmt.Printf("  %s=%5.1fMB", p.Start.Format("15:04"), float64(p.BytesDown)/1e6)
+			bytes += p.BytesDown
+		}
+		fmt.Printf("  total=%.1fMB\n", float64(bytes)/1e6)
+	}
+
+	fmt.Println("\n--- per-platform provisioning (/query?by=platform) ---")
+	var byPlat videoplat.QueryResult
+	getJSON(base+"/query?by=platform&step=60m", &byPlat)
+	for _, sr := range byPlat.Series {
+		p := sr.Points[0]
+		fmt.Printf("  %-22s %3d flows, mean %6.3f Mbps, peak %6.3f Mbps\n",
+			sr.Key, p.Flows, p.MeanMbpsDown, p.PeakMbpsDown)
+	}
+
+	fmt.Println("\n--- busiest 5-minute bucket (/query?step=5m) ---")
+	var total videoplat.QueryResult
+	getJSON(base+"/query?step=5m", &total)
+	var peak videoplat.QueryPoint
+	for _, p := range total.Series[0].Points {
+		if p.BytesDown > peak.BytesDown {
+			peak = p
+		}
+	}
+	fmt.Printf("  %s–%s: %d flows, %.1f MB down\n",
+		peak.Start.Format("15:04"), peak.End.Format("15:04"), peak.Flows, float64(peak.BytesDown)/1e6)
+
+	fmt.Println("\n--- downsampled history (/windows?tier=5m) ---")
+	var wins struct {
+		Count   int                       `json:"count"`
+		Windows []*videoplat.RollupWindow `json:"windows"`
+	}
+	getJSON(base+"/windows?tier=5m", &wins)
+	fmt.Printf("  %d coarse buckets retained (raw windows compact 5:1)\n", wins.Count)
+
+	// 4. Graceful shutdown, then prove the history outlives the daemon:
+	//    a fresh store reloads the persisted JSONL and answers the same
+	//    totals — the restart story of -telemetry-persist.
+	cancel()
+	if err := <-runErr; err != nil {
+		log.Fatal(err)
+	}
+	final, err := srv.Store().Query(time.Time{}, time.Time{}, time.Hour, videoplat.GroupTotal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := hist.Seek(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	reborn := videoplat.NewTelemetryStore(videoplat.TelemetryStoreConfig{})
+	n, err := reborn.Reload(hist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reloaded, err := reborn.Query(time.Time{}, time.Time{}, time.Hour, videoplat.GroupTotal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrestart survival: reloaded %d windows from %s\n", n, filepath.Base(histPath))
+	fmt.Printf("  flows before shutdown: %d, after reload: %d (must match)\n",
+		sumFlows(final), sumFlows(reloaded))
+}
+
+func sumFlows(res *videoplat.QueryResult) int {
+	var n int
+	for _, sr := range res.Series {
+		for _, p := range sr.Points {
+			n += p.Flows
+		}
+	}
+	return n
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatalf("GET %s: %v", url, err)
+	}
+}

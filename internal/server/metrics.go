@@ -1,0 +1,194 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// metricDef is one /metrics series: its Prometheus metadata plus a sampler
+// producing the sample lines (with labels where applicable) for a stats
+// snapshot. handleMetrics emits straight from this catalog and MetricNames
+// exposes it, so a series cannot be added to the endpoint without the
+// documentation drift test (docs/OPERATIONS.md) seeing it.
+type metricDef struct {
+	name, typ, help string
+	// conditional marks series omitted in some configurations (e.g.
+	// retrainer counters without -auto-retrain): the samplers return no
+	// lines and the series disappears from the exposition entirely.
+	conditional bool
+	samples     func(st *Stats) []string
+}
+
+// gauge1 renders the common single-sample case.
+func gauge1(name string, v float64) []string {
+	return []string{fmt.Sprintf("%s %g", name, v)}
+}
+
+var metricsCatalog = []metricDef{
+	{"videoplat_replay_packets_total", "counter", "Frames fed to the pipeline.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_replay_packets_total", float64(st.Replay.Packets))
+		}},
+	{"videoplat_replay_bytes_total", "counter", "Frame bytes fed to the pipeline.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_replay_bytes_total", float64(st.Replay.Bytes))
+		}},
+	{"videoplat_flows_active", "gauge", "Flows currently tracked across shards.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_active", float64(st.FlowTable.Active))
+		}},
+	{"videoplat_flows_inserted_total", "counter", "Flows ever inserted into the tables.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_inserted_total", float64(st.FlowTable.Inserted))
+		}},
+	{"videoplat_flows_evicted_total", "counter", "Flows evicted from the tables.", false,
+		func(st *Stats) []string {
+			return []string{
+				fmt.Sprintf("videoplat_flows_evicted_total{reason=\"idle\"} %d", st.FlowTable.EvictedIdle),
+				fmt.Sprintf("videoplat_flows_evicted_total{reason=\"cap\"} %d", st.FlowTable.EvictedCap),
+			}
+		}},
+	{"videoplat_flows_classified_total", "counter", "Flows classified with a platform prediction.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_classified_total", float64(st.ClassifiedFlows))
+		}},
+	{"videoplat_flows_unknown_total", "counter", "Flows rejected by the confidence selector.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_unknown_total", float64(st.UnknownFlows))
+		}},
+	{"videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_finalized_total", float64(st.FinalizedFlows))
+		}},
+	{"videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_results_dropped_total", float64(st.DroppedResults))
+		}},
+	{"videoplat_ingest_batches_total", "counter", "Frame batches dispatched to the pipeline.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_ingest_batches_total", float64(st.Ingest.Batches))
+		}},
+	{"videoplat_ingest_frames_ignored_total", "counter", "Frames dropped at ingest (unparseable or non-TCP/UDP).", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_ingest_frames_ignored_total", float64(st.Ingest.IgnoredFrames))
+		}},
+	{"videoplat_ingest_frames_filtered_total", "counter", "Decodable flows dropped at ingest by the port-443 video filter.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_ingest_frames_filtered_total", float64(st.Ingest.FilteredFrames))
+		}},
+	{"videoplat_ingest_stalls_total", "counter", "Ingest submissions that blocked on a full shard inbox.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_ingest_stalls_total", float64(st.Ingest.Stalls))
+		}},
+	{"videoplat_ingest_oversized_handshakes_total", "counter", "Flows abandoned because buffered handshake bytes exceeded the cap.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_ingest_oversized_handshakes_total", float64(st.Ingest.OversizedHandshakes))
+		}},
+	{"videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_rollup_windows_sealed_total", float64(st.Rollup.Sealed))
+		}},
+	{"videoplat_telemetry_sink_errors_total", "counter", "Rollup sink writes that failed (every failure, not just the first).", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_telemetry_sink_errors_total", float64(st.Rollup.SinkErrors))
+		}},
+	{"videoplat_telemetry_store_windows", "gauge", "Sealed windows retained per store tier (tier label: raw or the bucket width in seconds).", false,
+		func(st *Stats) []string {
+			out := make([]string, 0, len(st.Rollup.Store.Tiers))
+			for i, t := range st.Rollup.Store.Tiers {
+				label := "raw"
+				if i > 0 {
+					label = strconv.FormatFloat(t.WidthSeconds, 'g', -1, 64)
+				}
+				out = append(out, fmt.Sprintf("videoplat_telemetry_store_windows{tier=%q} %d", label, t.Windows))
+			}
+			return out
+		}},
+	{"videoplat_telemetry_store_evicted_total", "counter", "Windows evicted from the store by retention.", false,
+		func(st *Stats) []string {
+			return []string{
+				fmt.Sprintf("videoplat_telemetry_store_evicted_total{reason=\"count\"} %d", st.Rollup.Store.EvictedCount),
+				fmt.Sprintf("videoplat_telemetry_store_evicted_total{reason=\"age\"} %d", st.Rollup.Store.EvictedAge),
+			}
+		}},
+	{"videoplat_telemetry_store_compactions_total", "counter", "Downsampled store buckets sealed.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_telemetry_store_compactions_total", float64(st.Rollup.Store.Compactions))
+		}},
+	{"videoplat_telemetry_store_loaded_windows", "gauge", "Windows reloaded from persistence at startup.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_telemetry_store_loaded_windows", float64(st.Rollup.Store.LoadedWindows))
+		}},
+	{"videoplat_telemetry_store_persist_errors_total", "counter", "Failed writes to the store's persistence sink.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_telemetry_store_persist_errors_total", float64(st.Rollup.Store.PersistErrors))
+		}},
+	{"videoplat_model_active_info", "gauge", "Active model bank version (value is always 1).", false,
+		func(st *Stats) []string {
+			return []string{fmt.Sprintf("videoplat_model_active_info{version=%q} 1", st.Models.ActiveVersion)}
+		}},
+	{"videoplat_model_swaps_total", "counter", "Bank hot-swaps applied to the pipeline.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_model_swaps_total", float64(st.Models.Swaps))
+		}},
+	{"videoplat_model_retrains_total", "counter", "Candidate banks trained by the retrainer.", true,
+		func(st *Stats) []string {
+			if st.Models.Retrainer == nil {
+				return nil
+			}
+			return gauge1("videoplat_model_retrains_total", float64(st.Models.Retrainer.Retrains))
+		}},
+	{"videoplat_model_promotions_total", "counter", "Candidates promoted after shadow evaluation.", true,
+		func(st *Stats) []string {
+			if st.Models.Retrainer == nil {
+				return nil
+			}
+			return gauge1("videoplat_model_promotions_total", float64(st.Models.Retrainer.Promotions))
+		}},
+	{"videoplat_model_rejections_total", "counter", "Candidates rejected by the shadow gate.", true,
+		func(st *Stats) []string {
+			if st.Models.Retrainer == nil {
+				return nil
+			}
+			return gauge1("videoplat_model_rejections_total", float64(st.Models.Retrainer.Rejections))
+		}},
+	{"videoplat_replay_done", "gauge", "1 once the replay source is exhausted.", false,
+		func(st *Stats) []string {
+			done := 0.0
+			if st.Replay.Done {
+				done = 1
+			}
+			return gauge1("videoplat_replay_done", done)
+		}},
+}
+
+// MetricNames lists every videoplat_* series /metrics can emit, in
+// exposition order — the source of truth the operator runbook is checked
+// against. Series marked conditional in the catalog (the retrainer
+// counters) appear here even when the running configuration omits them.
+func MetricNames() []string {
+	out := make([]string, len(metricsCatalog))
+	for i, m := range metricsCatalog {
+		out[i] = m.name
+	}
+	return out
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b []byte
+	for _, m := range metricsCatalog {
+		lines := m.samples(&st)
+		if len(lines) == 0 {
+			continue // conditional series absent in this configuration
+		}
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.typ)...)
+		for _, l := range lines {
+			b = append(b, l...)
+			b = append(b, '\n')
+		}
+	}
+	w.Write(b)
+}

@@ -17,6 +17,15 @@
 // /stats and /metrics, alongside the ingest stall (backpressure) and
 // dropped-result counters.
 //
+// Sealed rollup windows are also retained in a queryable telemetry store
+// (Config.Store, defaulted when nil): a bounded in-memory ring with
+// downsampling tiers and optional JSONL persistence that /windows (range
+// listing) and /query (time-range re-aggregation by provider, platform or
+// model version) serve live — the paper's longitudinal per-provider /
+// per-platform questions answered from the daemon instead of offline JSONL
+// post-processing. Store occupancy, eviction, compaction and sink-error
+// counters surface in /stats and /metrics.
+//
 // This is the service surface the paper's continuous broadband deployment
 // implies but the batch tools lack; cmd/vpserve is the daemon entrypoint.
 //
@@ -84,8 +93,14 @@ type Config struct {
 	// Flows over the cap are abandoned and counted as
 	// oversized_handshakes in /stats and /metrics.
 	MaxHelloBytes int
-	// Sink receives sealed rollup windows (nil = discard).
+	// Sink receives sealed rollup windows (nil = discard). Independent of
+	// the Store: windows always reach both.
 	Sink telemetry.Sink
+	// Store retains sealed rollup windows for the /windows and /query
+	// endpoints. Nil selects a default store (1024 windows per tier, with
+	// 10x- and 60x-window downsampling tiers); supply one to tune
+	// retention, downsampling or persistence (see telemetry.StoreConfig).
+	Store *telemetry.Store
 
 	// Registry, if non-nil, enables the model lifecycle API: /models,
 	// /models/promote and /models/rollback, and every activation
@@ -133,6 +148,7 @@ type Server struct {
 	src     Source
 	sharded *pipeline.Sharded
 	rollup  *telemetry.Rollup
+	store   *telemetry.Store
 	lis     net.Listener
 	httpSrv *http.Server
 
@@ -164,10 +180,23 @@ type Server struct {
 // operations listener, so Addr() is valid before Run is called.
 func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 	cfg.fillDefaults()
+	store := cfg.Store
+	if store == nil {
+		store = telemetry.NewStore(telemetry.StoreConfig{
+			Tiers: []time.Duration{10 * cfg.WindowWidth, 60 * cfg.WindowWidth},
+		})
+	}
+	// Every sealed window reaches the queryable store; the configured sink
+	// (e.g. a JSONL archive) rides alongside.
+	sink := telemetry.Sink(store)
+	if cfg.Sink != nil {
+		sink = telemetry.MultiSink(store, cfg.Sink)
+	}
 	s := &Server{
 		cfg:        cfg,
 		src:        src,
-		rollup:     telemetry.NewRollup(cfg.WindowWidth, cfg.Sink),
+		rollup:     telemetry.NewRollup(cfg.WindowWidth, sink),
+		store:      store,
 		evictions:  make(chan *pipeline.FlowRecord, 1024),
 		replayDone: make(chan struct{}),
 		aggDone:    make(chan struct{}),
@@ -232,16 +261,43 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 	s.lis = lis
 
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /flows", s.handleFlows)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /models", s.handleModels)
-	mux.HandleFunc("POST /models/promote", s.handleModelsPromote)
-	mux.HandleFunc("POST /models/rollback", s.handleModelsRollback)
-	mux.HandleFunc("GET /models/export", s.handleModelsExport)
+	for _, rt := range routes {
+		mux.HandleFunc(rt.pattern, func(w http.ResponseWriter, r *http.Request) {
+			rt.handler(s, w, r)
+		})
+	}
 	s.httpSrv = &http.Server{Handler: mux}
 	return s, nil
+}
+
+// routes is the complete operations API surface. Registration and the
+// documented endpoint list both derive from this table, so a handler cannot
+// be added without Endpoints (and the docs/OPERATIONS.md drift test that
+// consumes it) seeing it.
+var routes = []struct {
+	pattern string
+	handler func(*Server, http.ResponseWriter, *http.Request)
+}{
+	{"GET /healthz", (*Server).handleHealthz},
+	{"GET /stats", (*Server).handleStats},
+	{"GET /flows", (*Server).handleFlows},
+	{"GET /windows", (*Server).handleWindows},
+	{"GET /query", (*Server).handleQuery},
+	{"GET /metrics", (*Server).handleMetrics},
+	{"GET /models", (*Server).handleModels},
+	{"POST /models/promote", (*Server).handleModelsPromote},
+	{"POST /models/rollback", (*Server).handleModelsRollback},
+	{"GET /models/export", (*Server).handleModelsExport},
+}
+
+// Endpoints lists every operations API route as "METHOD /path" patterns, in
+// registration order.
+func Endpoints() []string {
+	out := make([]string, len(routes))
+	for i, rt := range routes {
+		out[i] = rt.pattern
+	}
+	return out
 }
 
 // Addr returns the bound operations API address.
@@ -479,10 +535,14 @@ type Stats struct {
 	ByProvider      map[string]uint64 `json:"classified_by_provider"`
 
 	Rollup struct {
-		WindowSeconds float64           `json:"window_seconds"`
-		Sealed        int               `json:"sealed_windows"`
-		SinkError     string            `json:"sink_error,omitempty"`
-		Current       *telemetry.Window `json:"current_window,omitempty"`
+		WindowSeconds float64 `json:"window_seconds"`
+		Sealed        int     `json:"sealed_windows"`
+		// SinkError is the first sink write failure; SinkErrors counts
+		// every failure, so later errors are no longer invisible.
+		SinkError  string               `json:"sink_error,omitempty"`
+		SinkErrors uint64               `json:"sink_errors,omitempty"`
+		Current    *telemetry.Window    `json:"current_window,omitempty"`
+		Store      telemetry.StoreStats `json:"store"`
 	} `json:"rollup"`
 
 	// Models reports the serving bank's identity and, with a registry
@@ -537,7 +597,9 @@ func (s *Server) Snapshot() Stats {
 	if err := s.rollup.Err(); err != nil {
 		st.Rollup.SinkError = err.Error()
 	}
+	st.Rollup.SinkErrors = s.rollup.SinkErrors()
 	st.Rollup.Current = s.rollup.Current()
+	st.Rollup.Store = s.store.Stats()
 
 	st.Models.ActiveVersion = s.activeVersion()
 	st.Models.Swaps = s.swaps.Load()
@@ -653,46 +715,6 @@ func (s *Server) handleFlows(w http.ResponseWriter, r *http.Request) {
 		out.Flows = append(out.Flows, fs)
 	}
 	writeJSON(w, out)
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	st := s.Snapshot()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	var b []byte
-	metric := func(name, typ, help string, v float64) {
-		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)...)
-	}
-	metric("videoplat_replay_packets_total", "counter", "Frames fed to the pipeline.", float64(st.Replay.Packets))
-	metric("videoplat_replay_bytes_total", "counter", "Frame bytes fed to the pipeline.", float64(st.Replay.Bytes))
-	metric("videoplat_flows_active", "gauge", "Flows currently tracked across shards.", float64(st.FlowTable.Active))
-	metric("videoplat_flows_inserted_total", "counter", "Flows ever inserted into the tables.", float64(st.FlowTable.Inserted))
-	b = append(b, "# HELP videoplat_flows_evicted_total Flows evicted from the tables.\n# TYPE videoplat_flows_evicted_total counter\n"...)
-	b = append(b, fmt.Sprintf("videoplat_flows_evicted_total{reason=\"idle\"} %d\n", st.FlowTable.EvictedIdle)...)
-	b = append(b, fmt.Sprintf("videoplat_flows_evicted_total{reason=\"cap\"} %d\n", st.FlowTable.EvictedCap)...)
-	metric("videoplat_flows_classified_total", "counter", "Flows classified with a platform prediction.", float64(st.ClassifiedFlows))
-	metric("videoplat_flows_unknown_total", "counter", "Flows rejected by the confidence selector.", float64(st.UnknownFlows))
-	metric("videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", float64(st.FinalizedFlows))
-	metric("videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", float64(st.DroppedResults))
-	metric("videoplat_ingest_batches_total", "counter", "Frame batches dispatched to the pipeline.", float64(st.Ingest.Batches))
-	metric("videoplat_ingest_frames_ignored_total", "counter", "Frames dropped at ingest (unparseable or non-TCP/UDP).", float64(st.Ingest.IgnoredFrames))
-	metric("videoplat_ingest_frames_filtered_total", "counter", "Decodable flows dropped at ingest by the port-443 video filter.", float64(st.Ingest.FilteredFrames))
-	metric("videoplat_ingest_stalls_total", "counter", "Ingest submissions that blocked on a full shard inbox.", float64(st.Ingest.Stalls))
-	metric("videoplat_ingest_oversized_handshakes_total", "counter", "Flows abandoned because buffered handshake bytes exceeded the cap.", float64(st.Ingest.OversizedHandshakes))
-	metric("videoplat_rollup_windows_sealed_total", "counter", "Rollup windows sealed and retired to the sink.", float64(st.Rollup.Sealed))
-	b = append(b, "# HELP videoplat_model_active_info Active model bank version (value is always 1).\n# TYPE videoplat_model_active_info gauge\n"...)
-	b = append(b, fmt.Sprintf("videoplat_model_active_info{version=%q} 1\n", st.Models.ActiveVersion)...)
-	metric("videoplat_model_swaps_total", "counter", "Bank hot-swaps applied to the pipeline.", float64(st.Models.Swaps))
-	if st.Models.Retrainer != nil {
-		metric("videoplat_model_retrains_total", "counter", "Candidate banks trained by the retrainer.", float64(st.Models.Retrainer.Retrains))
-		metric("videoplat_model_promotions_total", "counter", "Candidates promoted after shadow evaluation.", float64(st.Models.Retrainer.Promotions))
-		metric("videoplat_model_rejections_total", "counter", "Candidates rejected by the shadow gate.", float64(st.Models.Retrainer.Rejections))
-	}
-	done := 0.0
-	if st.Replay.Done {
-		done = 1
-	}
-	metric("videoplat_replay_done", "gauge", "1 once the replay source is exhausted.", done)
-	w.Write(b)
 }
 
 // activeVersion names the bank currently serving classifications.

@@ -1,0 +1,341 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Query group-by dimensions.
+const (
+	// GroupTotal aggregates every flow into one "total" series.
+	GroupTotal = ""
+	// GroupProvider returns one series per video provider (plus
+	// "unmatched" for flows that never identified one).
+	GroupProvider = "provider"
+	// GroupPlatform returns one series per predicted user platform (plus
+	// "unclassified").
+	GroupPlatform = "platform"
+	// GroupModel returns one series per model bank version, counting the
+	// classification attempts attributed to each version. Unlike the other
+	// groupings this includes confidence-rejected (Unknown) predictions —
+	// a version rejecting heavily is exactly the drift signal the
+	// attribution exists for — so its totals are NOT comparable to the
+	// classified_flows of total/provider/platform series.
+	GroupModel = "model"
+)
+
+// QueryPoint is one re-aggregated time bucket of a series: the merge of
+// every source window (or, for grouped queries, the group's cell in every
+// source window) whose Start falls inside [Start, End).
+type QueryPoint struct {
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Windows is how many source windows were merged into this bucket
+	// (shared by all series of the result).
+	Windows int `json:"windows"`
+
+	Flows           int     `json:"flows"`
+	ClassifiedFlows int     `json:"classified_flows,omitempty"`
+	LateFlows       int     `json:"late_flows,omitempty"`
+	WatchSeconds    float64 `json:"watch_seconds,omitempty"`
+	BytesDown       int64   `json:"bytes_down,omitempty"`
+	BytesUp         int64   `json:"bytes_up,omitempty"`
+	// MeanMbpsDown is the watch-time-weighted mean downstream bandwidth
+	// over the merged windows; PeakMbpsDown the highest per-flow mean.
+	MeanMbpsDown float64 `json:"mean_mbps_down,omitempty"`
+	PeakMbpsDown float64 `json:"peak_mbps_down,omitempty"`
+}
+
+// QuerySeries is one group's time series, points in ascending Start order.
+// Empty buckets are omitted, not zero-filled.
+type QuerySeries struct {
+	// Key is the group value ("total", a provider, a platform label, or a
+	// model version, per the query's GroupBy).
+	Key    string       `json:"key"`
+	Points []QueryPoint `json:"points"`
+}
+
+// QueryResult is a Store.Query response.
+type QueryResult struct {
+	// Since/Until echo the query range (zero = unbounded on that side).
+	Since time.Time `json:"since,omitzero"`
+	Until time.Time `json:"until,omitzero"`
+	// StepSeconds is the bucket width actually used (the raw window width
+	// when the query did not constrain it).
+	StepSeconds float64 `json:"step_seconds"`
+	// GroupBy echoes the grouping dimension ("" = total).
+	GroupBy string `json:"group_by,omitempty"`
+	// TierSeconds is the resolution of the retention tier that served the
+	// query — the raw window width, or a coarser downsampling tier when
+	// raw history no longer reaches back to Since.
+	TierSeconds float64 `json:"tier_seconds"`
+	// SourceWindows is how many stored windows the query scanned.
+	SourceWindows int `json:"source_windows"`
+	// Series are sorted by Key ("total" alone for ungrouped queries).
+	Series []QuerySeries `json:"series"`
+}
+
+// Query re-aggregates retained windows into per-step buckets, optionally
+// grouped by provider, platform or model version.
+//
+// Windows are assigned to buckets by their Start: a window contributes when
+// since <= Start < until (a zero bound is unbounded), and buckets are
+// aligned to multiples of step. A step below the serving tier's resolution
+// is raised to it. The query is served from the finest tier — raw first,
+// then ascending downsampling tiers no coarser than step — whose retained
+// history still covers since; when none does, the tier reaching furthest
+// back is used, so long ranges degrade to coarser resolution instead of
+// silently missing their oldest buckets. When a coarse tier serves the
+// query, since is aligned down to the tier's bucket boundary (and echoed
+// in the result) so a straddling bucket is included rather than dropped.
+//
+// Merged buckets are derived exactly as a single wider rollup window over
+// the same flows would be (sums, max peaks, watch-time-weighted means), so
+// totals are invariant under step and tier choice.
+func (s *Store) Query(since, until time.Time, step time.Duration, groupBy string) (*QueryResult, error) {
+	switch groupBy {
+	case GroupTotal, GroupProvider, GroupPlatform, GroupModel:
+	default:
+		return nil, fmt.Errorf("telemetry: query: unknown group-by %q (want provider, platform or model)", groupBy)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	res := &QueryResult{Since: since, Until: until, GroupBy: groupBy, Series: []QuerySeries{}}
+	if s.rawWidth == 0 { // no window accepted yet
+		if step > 0 {
+			res.StepSeconds = step.Seconds()
+		}
+		return res, nil
+	}
+	t := s.pickTier(since, step)
+	tierWidth := t.width
+	if tierWidth == 0 {
+		tierWidth = s.rawWidth
+	}
+	if step < tierWidth {
+		step = tierWidth
+	}
+	if !since.IsZero() && tierWidth > s.rawWidth {
+		// Served from a coarse tier: align since down to its bucket
+		// boundary so a bucket straddling the requested start is included
+		// (slightly over-inclusive) instead of silently dropped. The
+		// response echoes the effective range.
+		since = bucketStart(since, tierWidth)
+		res.Since = since
+	}
+	res.StepSeconds = step.Seconds()
+	res.TierSeconds = tierWidth.Seconds()
+
+	// Merge qualifying windows into step-aligned buckets. Ring windows are
+	// merge sources only (Merge never mutates src), so no copies are made
+	// until the per-bucket aggregates themselves.
+	type bucket struct {
+		agg     *Window
+		windows int
+	}
+	buckets := map[time.Time]*bucket{}
+	scan := func(w *Window) {
+		if !since.IsZero() && w.Start.Before(since) {
+			return
+		}
+		if !until.IsZero() && !w.Start.Before(until) {
+			return
+		}
+		res.SourceWindows++
+		bs := bucketStart(w.Start, step)
+		b := buckets[bs]
+		if b == nil {
+			b = &bucket{agg: &Window{Start: bs, End: bs.Add(step)}}
+			buckets[bs] = b
+		}
+		b.agg.Merge(w)
+		b.agg.Start, b.agg.End = bs, bs.Add(step)
+		b.windows++
+	}
+	for _, w := range t.ring {
+		scan(w)
+	}
+	if t.open != nil {
+		scan(t.open)
+	}
+
+	starts := make([]time.Time, 0, len(buckets))
+	for bs := range buckets {
+		starts = append(starts, bs)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Before(starts[j]) })
+
+	series := map[string]*QuerySeries{}
+	appendPoint := func(key string, p QueryPoint) {
+		sr := series[key]
+		if sr == nil {
+			sr = &QuerySeries{Key: key}
+			series[key] = sr
+		}
+		sr.Points = append(sr.Points, p)
+	}
+	for _, bs := range starts {
+		b := buckets[bs]
+		base := QueryPoint{Start: b.agg.Start, End: b.agg.End, Windows: b.windows}
+		switch groupBy {
+		case GroupTotal:
+			total := &Cell{}
+			for _, c := range b.agg.ByProvider {
+				total.Merge(c)
+			}
+			p := base
+			p.fromCell(total)
+			p.Flows = b.agg.Flows // includes flows with no provider cell, if any
+			p.ClassifiedFlows = b.agg.ClassifiedFlows
+			p.LateFlows = b.agg.LateFlows
+			appendPoint("total", p)
+		case GroupProvider:
+			for key, c := range b.agg.ByProvider {
+				p := base
+				p.fromCell(c)
+				appendPoint(key, p)
+			}
+		case GroupPlatform:
+			for key, c := range b.agg.ByPlatform {
+				p := base
+				p.fromCell(c)
+				appendPoint(key, p)
+			}
+		case GroupModel:
+			for key, n := range b.agg.ModelVersions {
+				p := base
+				p.Flows = n // attempts attributed to the version; see GroupModel
+				appendPoint(key, p)
+			}
+		}
+	}
+
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		res.Series = append(res.Series, *series[k])
+	}
+	return res, nil
+}
+
+// fromCell copies a merged cell's aggregates into the point.
+func (p *QueryPoint) fromCell(c *Cell) {
+	p.Flows = c.Flows
+	p.ClassifiedFlows = c.ClassifiedFlows
+	p.WatchSeconds = c.WatchSeconds
+	p.BytesDown = c.BytesDown
+	p.BytesUp = c.BytesUp
+	p.MeanMbpsDown = c.MeanMbpsDown
+	p.PeakMbpsDown = c.PeakMbpsDown
+}
+
+// pickTier selects the tier serving a query: the finest with resolution at
+// most step whose history covers since, else the qualifying tier reaching
+// furthest back. A tier that has never evicted covers everything it ever
+// saw — preferring it by that, not by its oldest bucket start, matters
+// because coarse buckets align below the first raw window and would
+// otherwise spuriously "reach further back" than a complete raw ring.
+// Callers hold mu.
+func (s *Store) pickTier(since time.Time, step time.Duration) *tier {
+	candidates := []*tier{s.raw}
+	for _, t := range s.tiers {
+		if step > 0 && t.width > step {
+			break // ascending: nothing coarser qualifies either
+		}
+		candidates = append(candidates, t)
+	}
+	var best *tier
+	var bestOldest time.Time
+	for _, t := range candidates {
+		oldest, ok := tierOldest(t)
+		if !ok {
+			continue
+		}
+		if t.evictions == 0 || (!since.IsZero() && !oldest.After(since)) {
+			return t // finest tier with complete (or sufficient) history
+		}
+		if best == nil || oldest.Before(bestOldest) {
+			best, bestOldest = t, oldest
+		}
+	}
+	if best == nil {
+		return candidates[0]
+	}
+	return best
+}
+
+// tierOldest reports the oldest Start the tier retains.
+func tierOldest(t *tier) (time.Time, bool) {
+	if len(t.ring) > 0 {
+		return t.ring[0].Start, true
+	}
+	if t.open != nil {
+		return t.open.Start, true
+	}
+	return time.Time{}, false
+}
+
+// Windows lists retained sealed windows with Start in [since, until) (zero
+// bounds are unbounded) from the tier whose bucket width matches tierWidth
+// (0 = the raw tier; a downsampled tier's in-progress bucket is included
+// last). It returns deep copies in ascending Start order — at most limit
+// of them, keeping the newest (limit <= 0 = all) — plus the total number
+// of windows matching the range, so a truncated listing still reports how
+// much history qualifies. Only the returned windows are cloned; the limit
+// also bounds the copy work done under the store's lock.
+func (s *Store) Windows(since, until time.Time, tierWidth time.Duration, limit int) ([]*Window, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.raw
+	if tierWidth > 0 && tierWidth != s.rawWidth {
+		t = nil
+		for _, c := range s.tiers {
+			if c.width == tierWidth {
+				t = c
+				break
+			}
+		}
+		if t == nil {
+			return nil, 0, fmt.Errorf("telemetry: no %v tier (configured: %v)", tierWidth, s.tierWidths())
+		}
+	}
+	include := func(w *Window) bool {
+		if !since.IsZero() && w.Start.Before(since) {
+			return false
+		}
+		return until.IsZero() || w.Start.Before(until)
+	}
+	matching := make([]*Window, 0, len(t.ring)+1)
+	for _, w := range t.ring {
+		if include(w) {
+			matching = append(matching, w)
+		}
+	}
+	if t.open != nil && include(t.open) {
+		matching = append(matching, t.open)
+	}
+	total := len(matching)
+	if limit > 0 && len(matching) > limit {
+		matching = matching[len(matching)-limit:]
+	}
+	out := make([]*Window, len(matching))
+	for i, w := range matching {
+		out[i] = w.Clone()
+	}
+	return out, total, nil
+}
+
+// tierWidths lists the configured downsampling widths. Callers hold mu.
+func (s *Store) tierWidths() []time.Duration {
+	ws := make([]time.Duration, len(s.tiers))
+	for i, t := range s.tiers {
+		ws[i] = t.width
+	}
+	return ws
+}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -42,6 +43,21 @@ func (c *Cell) seal() {
 	if c.WatchSeconds > 0 {
 		c.MeanMbpsDown = float64(c.BytesDown) * 8 / 1e6 / c.WatchSeconds
 	}
+}
+
+// Merge folds src into c. Additive fields sum, PeakMbpsDown takes the max,
+// and MeanMbpsDown is recomputed from the merged totals — the watch-time-
+// weighted mean, not an average of the two means.
+func (c *Cell) Merge(src *Cell) {
+	c.Flows += src.Flows
+	c.ClassifiedFlows += src.ClassifiedFlows
+	c.WatchSeconds += src.WatchSeconds
+	c.BytesDown += src.BytesDown
+	c.BytesUp += src.BytesUp
+	if src.PeakMbpsDown > c.PeakMbpsDown {
+		c.PeakMbpsDown = src.PeakMbpsDown
+	}
+	c.seal()
 }
 
 // Window is one sealed tumbling window of flow aggregates: the unit the
@@ -123,11 +139,96 @@ func (w *Window) seal() {
 	}
 }
 
+// Clone returns a deep copy of w that shares no state with the original.
+func (w *Window) Clone() *Window {
+	snap := *w
+	snap.ByProvider = cloneCells(w.ByProvider)
+	snap.ByPlatform = cloneCells(w.ByPlatform)
+	if w.ModelVersions != nil {
+		snap.ModelVersions = make(map[string]int, len(w.ModelVersions))
+		for k, v := range w.ModelVersions {
+			snap.ModelVersions[k] = v
+		}
+	}
+	return &snap
+}
+
+// Merge folds src into w: the time range extends to cover both windows,
+// counters sum, per-key cells merge (watch-time-weighted means, max peaks),
+// ModelVersions counts add, and ClassificationRate is recomputed from the
+// merged totals. Merging sealed windows this way keeps every derived field
+// consistent with what a single wider rollup window over the same flows
+// would have produced — the invariant the store's downsampling tiers and
+// Query re-aggregation both rely on. src is not modified.
+func (w *Window) Merge(src *Window) {
+	if w.Start.IsZero() || src.Start.Before(w.Start) {
+		w.Start = src.Start
+	}
+	if src.End.After(w.End) {
+		w.End = src.End
+	}
+	w.Flows += src.Flows
+	w.ClassifiedFlows += src.ClassifiedFlows
+	w.LateFlows += src.LateFlows
+	if w.Flows > 0 {
+		w.ClassificationRate = float64(w.ClassifiedFlows) / float64(w.Flows)
+	}
+	w.ByProvider = mergeCells(w.ByProvider, src.ByProvider)
+	w.ByPlatform = mergeCells(w.ByPlatform, src.ByPlatform)
+	if len(src.ModelVersions) > 0 {
+		if w.ModelVersions == nil {
+			w.ModelVersions = make(map[string]int, len(src.ModelVersions))
+		}
+		for k, v := range src.ModelVersions {
+			w.ModelVersions[k] += v
+		}
+	}
+}
+
+// mergeCells folds src's cells into dst by key, allocating dst (and copies
+// of src's cells) as needed; src cells are never aliased.
+func mergeCells(dst, src map[string]*Cell) map[string]*Cell {
+	if len(src) == 0 {
+		return dst
+	}
+	if dst == nil {
+		dst = make(map[string]*Cell, len(src))
+	}
+	for k, c := range src {
+		d := dst[k]
+		if d == nil {
+			d = &Cell{}
+			dst[k] = d
+		}
+		d.Merge(c)
+	}
+	return dst
+}
+
 // Sink receives sealed windows. WriteWindow may be called from the
 // goroutine driving Rollup.Add; implementations that share state with other
 // goroutines must synchronize internally.
 type Sink interface {
 	WriteWindow(w *Window) error
+}
+
+// MultiSink fans each sealed window out to every sink in order, e.g. a
+// queryable Store plus a JSONL archive. All sinks are offered every window
+// even when an earlier one fails; the errors are joined. The window pointer
+// is shared across sinks, so sinks that retain windows (the Store) must
+// copy rather than mutate.
+func MultiSink(sinks ...Sink) Sink { return multiSink(sinks) }
+
+type multiSink []Sink
+
+func (m multiSink) WriteWindow(w *Window) error {
+	var errs []error
+	for _, s := range m {
+		if err := s.WriteWindow(w); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // JSONLSink writes one JSON object per sealed window, newline-delimited —
@@ -167,12 +268,13 @@ func (s *JSONLSink) Windows() int {
 //
 // Rollup is safe for concurrent use.
 type Rollup struct {
-	mu      sync.Mutex
-	width   time.Duration
-	sink    Sink
-	cur     *Window
-	sealed  int
-	sinkErr error
+	mu       sync.Mutex
+	width    time.Duration
+	sink     Sink
+	cur      *Window
+	sealed   int
+	sinkErr  error  // first failure, kept verbatim for /stats
+	sinkErrs uint64 // every failure, for the sink-errors counter
 }
 
 // NewRollup returns a Rollup with the given window width (default 1 minute
@@ -233,6 +335,16 @@ func (r *Rollup) Err() error {
 	return r.sinkErr
 }
 
+// SinkErrors reports how many WriteWindow calls have failed — every
+// failure, not just the first one Err keeps. A sink that recovers (e.g.
+// disk full, then space freed) leaves Err set but stops incrementing this
+// counter, so operators can tell a transient failure from an ongoing one.
+func (r *Rollup) SinkErrors() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sinkErrs
+}
+
 // Current returns a deep snapshot of the in-progress window, or nil if no
 // record has arrived yet — the live view the /stats endpoint serves.
 func (r *Rollup) Current() *Window {
@@ -282,8 +394,11 @@ func (r *Rollup) seal() {
 	r.cur.seal()
 	r.sealed++
 	if r.sink != nil {
-		if err := r.sink.WriteWindow(r.cur); err != nil && r.sinkErr == nil {
-			r.sinkErr = err
+		if err := r.sink.WriteWindow(r.cur); err != nil {
+			r.sinkErrs++
+			if r.sinkErr == nil {
+				r.sinkErr = err
+			}
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package videoplat_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestMarkdownLinksResolve walks every markdown file in the repository and
+// checks that intra-repo links point at files that exist, so documentation
+// references can't silently rot as the tree moves.
+func TestMarkdownLinksResolve(t *testing.T) {
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".md") {
+			return nil
+		}
+		body, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "#") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external links and in-page anchors
+			}
+			target, _, _ = strings.Cut(target, "#") // drop the anchor
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", path, m[1], resolved)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -30,10 +30,17 @@
 //     per-provider and per-platform watch-time, bandwidth and
 //     classification-rate aggregates, retiring sealed windows to a
 //     pluggable sink;
-//   - NewServer assembles both into a streaming ingest daemon that replays
-//     capture files or synthetic traffic through the sharded pipeline at a
-//     configurable packet rate and serves live operations endpoints
-//     (/stats, /flows, /healthz, /metrics) with graceful shutdown.
+//   - NewTelemetryStore retains sealed windows in a bounded, queryable
+//     in-memory ring — count/age retention, coarser downsampling tiers
+//     compacted by merging window aggregates so long ranges stay cheap,
+//     and optional JSONL persistence reloaded on restart — and answers
+//     time-range queries (since/until/step, grouped by provider, platform
+//     or model version) live instead of via offline JSONL post-processing;
+//   - NewServer assembles it all into a streaming ingest daemon that
+//     replays capture files or synthetic traffic through the sharded
+//     pipeline at a configurable packet rate and serves live operations
+//     endpoints (/stats, /flows, /windows, /query, /healthz, /metrics)
+//     with graceful shutdown.
 //
 // The §5.3 concept-drift story is closed by the model lifecycle subsystem,
 // which evolves the classifier bank under live traffic:
@@ -68,10 +75,11 @@
 // by golden-equivalence tests.
 //
 // See examples/quickstart for an end-to-end batch walkthrough,
-// examples/serve-replay for the streaming daemon, examples/drift-retrain
-// for the forced-drift auto-promotion walkthrough, cmd/vpserve for the
-// daemon binary, and cmd/vpexperiments for the harness that regenerates
-// every table and figure in the paper.
+// examples/serve-replay for the streaming daemon, examples/telemetry-query
+// for live time-range queries (and restart-surviving history) against the
+// daemon, examples/drift-retrain for the forced-drift auto-promotion
+// walkthrough, cmd/vpserve for the daemon binary, and cmd/vpexperiments
+// for the harness that regenerates every table and figure in the paper.
 package videoplat
 
 import (
@@ -144,8 +152,27 @@ type (
 	Rollup = telemetry.Rollup
 	// RollupWindow is one sealed tumbling window of flow aggregates.
 	RollupWindow = telemetry.Window
+	// RollupCell aggregates one provider's or platform's flows within a
+	// window.
+	RollupCell = telemetry.Cell
 	// RollupSink receives sealed rollup windows.
 	RollupSink = telemetry.Sink
+	// TelemetryStore retains sealed windows in bounded, queryable,
+	// optionally persistent multi-resolution rings.
+	TelemetryStore = telemetry.Store
+	// TelemetryStoreConfig tunes store retention, downsampling tiers and
+	// persistence.
+	TelemetryStoreConfig = telemetry.StoreConfig
+	// TelemetryStoreStats are the store's occupancy/eviction/compaction
+	// counters.
+	TelemetryStoreStats = telemetry.StoreStats
+	// QueryResult is a TelemetryStore.Query response: re-aggregated series
+	// over a time range.
+	QueryResult = telemetry.QueryResult
+	// QuerySeries is one group's series within a QueryResult.
+	QuerySeries = telemetry.QuerySeries
+	// QueryPoint is one re-aggregated time bucket of a QuerySeries.
+	QueryPoint = telemetry.QueryPoint
 	// Server is the streaming ingest daemon with the operations HTTP API.
 	Server = server.Server
 	// ServeConfig tunes the streaming ingest daemon.
@@ -192,6 +219,14 @@ const (
 	Composite = pipeline.Composite
 	Partial   = pipeline.Partial
 	Unknown   = pipeline.Unknown
+)
+
+// Telemetry query group-by dimensions (TelemetryStore.Query, GET /query).
+const (
+	GroupTotal    = telemetry.GroupTotal
+	GroupProvider = telemetry.GroupProvider
+	GroupPlatform = telemetry.GroupPlatform
+	GroupModel    = telemetry.GroupModel
 )
 
 // Platforms lists the 17 user-platform labels of Table 1
@@ -253,6 +288,20 @@ func NewRollup(width time.Duration, sink RollupSink) *Rollup {
 // NewJSONLSink returns a rollup sink writing one JSON object per sealed
 // window to w.
 func NewJSONLSink(w io.Writer) RollupSink { return telemetry.NewJSONLSink(w) }
+
+// NewTelemetryStore returns a queryable window store: a bounded in-memory
+// ring of sealed rollup windows with count/age retention, multi-resolution
+// downsampling tiers and optional JSONL persistence. It implements
+// RollupSink, so it sits directly behind a Rollup — or behind the Server,
+// which serves it over GET /windows and GET /query (pass it via
+// ServeConfig.Store to tune retention; the Server builds a default one
+// otherwise). Query re-aggregates retained windows into per-step series
+// grouped by provider, platform or model version.
+func NewTelemetryStore(cfg TelemetryStoreConfig) *TelemetryStore { return telemetry.NewStore(cfg) }
+
+// MultiSink fans sealed windows out to several sinks, e.g. a queryable
+// TelemetryStore plus a JSONL archive.
+func MultiSink(sinks ...RollupSink) RollupSink { return telemetry.MultiSink(sinks...) }
 
 // NewServer assembles the streaming ingest daemon: src replayed through a
 // sharded, flow-table-bounded pipeline, with windowed rollups and the
