@@ -79,6 +79,11 @@ type options struct {
 	telemetryTiers   string
 	telemetryPersist string
 
+	pprof        bool
+	traceSample  int
+	traceRing    int
+	traceSlowest int
+
 	registryDir string
 	autoRetrain bool
 	driftWindow int
@@ -117,6 +122,11 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.StringVar(&o.telemetryRetain, "telemetry-retain", "1440", "telemetry store retention per tier: a window count (e.g. 1440) or a trace-time age (e.g. 24h)")
 	fs.StringVar(&o.telemetryTiers, "telemetry-tiers", "auto", "comma-separated downsampling widths for /query over long ranges (auto = 10x and 60x -window; none = raw only)")
 	fs.StringVar(&o.telemetryPersist, "telemetry-persist", "", "JSONL file persisting the telemetry store across restarts (reloaded at startup, appended while serving)")
+
+	fs.BoolVar(&o.pprof, "pprof", false, "serve Go runtime profiling under /debug/pprof/ (off by default)")
+	fs.IntVar(&o.traceSample, "trace-sample", 0, "trace every Nth flow's lifecycle for /trace (0 = default 256, 1 = every flow, <0 = disable tracing)")
+	fs.IntVar(&o.traceRing, "trace-ring", 0, "finished spans retained for /trace (0 = default 256)")
+	fs.IntVar(&o.traceSlowest, "trace-slowest", 0, "slowest-flow exemplars retained for /trace (0 = default 16)")
 
 	fs.StringVar(&o.registryDir, "registry-dir", "", "versioned model registry directory (enables /models, promote/rollback hot-swap)")
 	fs.BoolVar(&o.autoRetrain, "auto-retrain", false, "retrain and shadow-promote a new bank when drift is detected (requires -registry-dir)")
@@ -230,9 +240,14 @@ func main() {
 		Registry:        reg,
 		Drift:           mon,
 		Retrainer:       rt,
+
+		EnablePprof:      o.pprof,
+		TraceSampleEvery: o.traceSample,
+		TraceRing:        o.traceRing,
+		TraceSlowest:     o.traceSlowest,
 	})
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /windows /query /models /healthz /metrics)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /windows /query /models /trace /healthz /metrics)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

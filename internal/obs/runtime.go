@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime's health
+// signals, surfaced in /stats and /metrics so operators can correlate
+// latency shifts with GC pressure or goroutine leaks.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// GOMAXPROCS is the scheduler's processor limit.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// HeapAllocBytes/HeapSysBytes are live heap bytes and heap bytes
+	// obtained from the OS.
+	HeapAllocBytes uint64 `json:"heap_alloc_bytes"`
+	HeapSysBytes   uint64 `json:"heap_sys_bytes"`
+	// HeapObjects is the live object count.
+	HeapObjects uint64 `json:"heap_objects"`
+	// NumGC is the completed GC cycle count; PauseTotalMs is cumulative
+	// stop-the-world pause time; LastPauseMs is the most recent pause.
+	NumGC        uint32  `json:"num_gc"`
+	PauseTotalMs float64 `json:"gc_pause_total_ms"`
+	LastPauseMs  float64 `json:"gc_last_pause_ms"`
+	// NextGCBytes is the heap size target for the next GC cycle.
+	NextGCBytes uint64 `json:"next_gc_bytes"`
+}
+
+// ReadRuntimeStats snapshots the runtime. It calls runtime.ReadMemStats,
+// which briefly stops the world — fine at /stats scrape cadence, not for
+// per-packet paths.
+func ReadRuntimeStats() RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	rs := RuntimeStats{
+		Goroutines:     runtime.NumGoroutine(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		HeapAllocBytes: m.HeapAlloc,
+		HeapSysBytes:   m.HeapSys,
+		HeapObjects:    m.HeapObjects,
+		NumGC:          m.NumGC,
+		PauseTotalMs:   float64(m.PauseTotalNs) / 1e6,
+		NextGCBytes:    m.NextGC,
+	}
+	if m.NumGC > 0 {
+		rs.LastPauseMs = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e6
+	}
+	return rs
+}
+
+// BuildInfo identifies the running binary for /stats config echo.
+type BuildInfo struct {
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// Module is the main module path.
+	Module string `json:"module,omitempty"`
+	// Version is the main module version ("(devel)" for local builds).
+	Version string `json:"version,omitempty"`
+	// VCSRevision/VCSTime/VCSModified are embedded VCS stamps when the
+	// binary was built inside a checkout.
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSTime     string `json:"vcs_time,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// ReadBuildInfo extracts build identification from the binary's embedded
+// module info.
+func ReadBuildInfo() BuildInfo {
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	bi.Module = info.Main.Path
+	bi.Version = info.Main.Version
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.VCSRevision = s.Value
+		case "vcs.time":
+			bi.VCSTime = s.Value
+		case "vcs.modified":
+			bi.VCSModified = s.Value == "true"
+		}
+	}
+	return bi
+}

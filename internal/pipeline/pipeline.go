@@ -7,6 +7,7 @@ import (
 	"videoplat/internal/features"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/flowtable"
+	"videoplat/internal/obs"
 	"videoplat/internal/packet"
 )
 
@@ -30,6 +31,11 @@ type FlowRecord struct {
 	FirstSeen, LastSeen    time.Time
 	BytesDown, BytesUp     int64
 	PacketsDown, PacketsUp int
+
+	// ClassifyNanos is how long the flow's classification took (encode +
+	// inference), zero for flows never classified. It travels with the
+	// record so telemetry rollups can fold per-window latency summaries.
+	ClassifyNanos int64
 }
 
 // Duration is the observed flow duration.
@@ -49,6 +55,7 @@ type flowState struct {
 	asm       hsAssembler    // incremental handshake assembly state
 	clientKey packet.FlowKey // direction of the initiating packet
 	done      bool           // classification finished (or rejected)
+	span      *obs.Span      // lifecycle trace, non-nil only for sampled flows
 }
 
 // Config bounds a Pipeline's flow table for long-running deployments.
@@ -94,6 +101,24 @@ type Config struct {
 	// hook returns. Called synchronously from HandlePacket; for Sharded it
 	// runs on shard goroutines and must be safe for concurrent use.
 	OnClassify func(rec *FlowRecord, hs *features.HandshakeInfo)
+	// Observer, if non-nil, receives per-stage latency samples (handshake
+	// assembly, classification; for Sharded also ingest decode and shard
+	// queue wait). Recording is lock-free and allocation-free, so leaving
+	// an observer attached in production costs only the clock reads; a nil
+	// observer reduces the instrumentation to one pointer check per frame.
+	Observer *obs.PipelineObserver
+	// Tracer, if non-nil, samples flow lifecycles: every Nth new flow
+	// carries a span recording stage timings, shard placement and its
+	// terminal verdict, retained in the tracer's ring and slowest-K set.
+	// Must be safe for concurrent use when shared across shards (obs.Tracer
+	// is).
+	Tracer *obs.Tracer
+
+	// shardID and queueDepth are set by NewShardedWithConfig on each
+	// shard's private Config copy so sampled spans can record where the
+	// flow ran and how deep its shard's inbox was at admission.
+	shardID    int
+	queueDepth func() int
 }
 
 // DefaultMaxHelloBytes bounds per-flow buffered handshake bytes when
@@ -128,6 +153,13 @@ type Pipeline struct {
 	// it across running shards.
 	oversized atomic.Uint64
 
+	// batchQueueWait is the shard-queue wait of the batch currently being
+	// processed, set by the shard worker before it replays the batch's
+	// frames so sampled spans can attribute the wait to each frame. Owned
+	// by the single goroutine calling HandlePacket/handleKeyed; always zero
+	// for a plain (unsharded) pipeline.
+	batchQueueWait int64
+
 	// Stats counters.
 	Packets, VideoPackets, ClassifiedFlows, UnknownFlows int
 }
@@ -142,12 +174,31 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 	p.flows = flowtable.New[*flowState](
 		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
 		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
+			p.finishSpan(st, "evicted")
 			if cfg.OnEvict != nil {
 				rec := st.rec
 				cfg.OnEvict(&rec, reason)
 			}
 		})
 	return p
+}
+
+// finishSpan completes a sampled flow's span with its terminal verdict and
+// hands it back to the tracer. No-op for unsampled flows.
+func (p *Pipeline) finishSpan(st *flowState, verdict string) {
+	if st.span == nil {
+		return
+	}
+	sp := st.span
+	st.span = nil
+	if sp.SNI == "" {
+		sp.SNI = st.rec.SNI
+	}
+	if sp.ModelVersion == "" {
+		sp.ModelVersion = st.rec.ModelVersion
+	}
+	sp.Verdict = verdict
+	p.cfg.Tracer.Finish(sp)
 }
 
 // TableStats reports the flow table's occupancy and eviction counters.
@@ -211,7 +262,22 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		st.rec.Key = key
 		st.rec.FirstSeen = ts
 		st.asm.init()
+		if p.cfg.Tracer != nil {
+			if sp := p.cfg.Tracer.Admit(); sp != nil {
+				sp.Flow = canon.String()
+				sp.Shard = p.cfg.shardID
+				if p.cfg.queueDepth != nil {
+					sp.QueueDepth = p.cfg.queueDepth()
+				}
+				sp.FirstPacket = ts
+				st.span = sp
+			}
+		}
 		p.flows.Put(canon, st, ts)
+	}
+	if st.span != nil {
+		st.span.Frames++
+		st.span.QueueWaitNS += p.batchQueueWait
 	}
 
 	// Telemetry split by direction.
@@ -234,19 +300,33 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	if key != st.clientKey {
 		return nil, nil
 	}
+	var asmStart time.Time
+	timed := p.cfg.Observer != nil || st.span != nil
+	if timed {
+		asmStart = time.Now()
+	}
 	var complete bool
 	if parsed != nil {
 		complete = st.asm.consumeParsed(parsed, frame)
 	} else {
 		complete = st.asm.consume(&p.parser, &p.parsed, frame)
 	}
+	if timed {
+		d := time.Since(asmStart)
+		p.cfg.Observer.Record(obs.StageAssembly, d)
+		if st.span != nil {
+			st.span.AssemblyNS += int64(d)
+		}
+	}
 	if !complete {
 		switch {
 		case st.asm.frames > 8:
 			st.done = true // no hello in the first packets: not a video flow
+			p.finishSpan(st, "no-handshake")
 		case p.maxHelloBytes() > 0 && st.asm.buffered() > p.maxHelloBytes():
 			st.done = true // oversized handshake: abandon, don't buffer more
 			p.oversized.Add(1)
+			p.finishSpan(st, "oversized")
 		}
 		if st.done {
 			st.asm = hsAssembler{} // release buffered handshake bytes
@@ -259,6 +339,10 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	prov, content, ok := MatchProvider(sni)
 	if !ok {
 		st.done = true
+		if st.span != nil {
+			st.span.SNI = sni // the record stays SNI-less for non-video flows
+		}
+		p.finishSpan(st, "not-video")
 		st.asm = hsAssembler{}
 		return nil, nil
 	}
@@ -272,9 +356,25 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	}
 
 	bank := p.bank.Load() // one load: the whole classification uses one bank
+	var clStart time.Time
+	if timed {
+		clStart = time.Now()
+	}
 	pred, err := bank.ClassifyHandshake(prov, st.rec.Transport, info, &p.scratch)
+	if timed {
+		d := time.Since(clStart)
+		p.cfg.Observer.Record(obs.StageClassify, d)
+		st.rec.ClassifyNanos = int64(d)
+		if st.span != nil {
+			st.span.ClassifyNS += int64(d)
+		}
+	}
 	st.done = true
 	if err != nil {
+		if st.span != nil {
+			st.span.ModelVersion = bank.Version
+		}
+		p.finishSpan(st, "error")
 		st.asm = hsAssembler{}
 		return nil, err
 	}
@@ -286,6 +386,13 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	} else {
 		p.ClassifiedFlows++
 	}
+	if st.span != nil {
+		verdict := "unknown"
+		if pred.Status != Unknown {
+			verdict = pred.Device + "/" + pred.Agent
+		}
+		p.finishSpan(st, verdict)
+	}
 	out := st.rec // copy at classification time
 	if p.cfg.OnClassify != nil {
 		hookRec := st.rec
@@ -294,6 +401,11 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	st.asm = hsAssembler{} // release only after the hook: info aliases it
 	return &out, nil
 }
+
+// noteQueueWait records how long the batch about to be replayed waited in
+// its shard's inbox, so sampled spans can attribute the wait per frame.
+// Called by the owning shard worker only (same goroutine as handleKeyed).
+func (p *Pipeline) noteQueueWait(d time.Duration) { p.batchQueueWait = int64(d) }
 
 // maxHelloBytes resolves the Config.MaxHelloBytes default.
 func (p *Pipeline) maxHelloBytes() int {

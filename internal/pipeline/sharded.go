@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"videoplat/internal/flowtable"
+	"videoplat/internal/obs"
 	"videoplat/internal/packet"
 )
 
@@ -88,6 +89,12 @@ type Sharded struct {
 	// one Parsed serve every frame and the hot layer structs stay resident.
 	parser  packet.Parser
 	scratch packet.Parsed
+
+	// obsv/tracer mirror Config.Observer/Config.Tracer. When both are nil
+	// the instrumentation collapses to one nil check per frame and shard
+	// messages carry no enqueue timestamps.
+	obsv   *obs.PipelineObserver
+	tracer *obs.Tracer
 }
 
 type shard struct {
@@ -101,6 +108,9 @@ type shard struct {
 type shardMsg struct {
 	batch *ingestBatch
 	snap  chan []*FlowRecord
+	// enq stamps when the message entered the inbox, set only when latency
+	// observation is on; the worker turns it into a queue-wait sample.
+	enq time.Time
 }
 
 // ingestBatch is the unit shipped to a shard: one or more frames decoded at
@@ -156,9 +166,20 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 	if rbuf <= 0 {
 		rbuf = DefaultResultsBufferPerShard * n
 	}
-	s := &Sharded{results: make(chan *FlowRecord, rbuf), pending: make([]*ingestBatch, n)}
+	s := &Sharded{
+		results: make(chan *FlowRecord, rbuf),
+		pending: make([]*ingestBatch, n),
+		obsv:    cfg.Observer,
+		tracer:  cfg.Tracer,
+	}
 	for i := 0; i < n; i++ {
-		sh := &shard{in: make(chan shardMsg, depth), p: NewWithConfig(bank, cfg)}
+		in := make(chan shardMsg, depth)
+		// Each shard's pipeline gets a private Config copy carrying its
+		// identity and a live inbox-depth probe for sampled spans.
+		shCfg := cfg
+		shCfg.shardID = i
+		shCfg.queueDepth = func() int { return len(in) }
+		sh := &shard{in: in, p: NewWithConfig(bank, shCfg)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go func() {
@@ -167,6 +188,11 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 				if msg.snap != nil {
 					msg.snap <- sh.p.Flows()
 					continue
+				}
+				if !msg.enq.IsZero() {
+					wait := time.Since(msg.enq)
+					s.obsv.Record(obs.StageQueueWait, wait)
+					sh.p.noteQueueWait(wait)
 				}
 				b := msg.batch
 				for i := range b.frames {
@@ -222,7 +248,12 @@ func (s *Sharded) decode(ts time.Time, data []byte) (ingestFrame, int, bool) {
 
 // send enqueues a shard message, counting the stall when the inbox is full
 // before blocking until the worker catches up (backpressure, not loss).
+// With observation on, the message is stamped so the worker can measure how
+// long it sat in the inbox.
 func (s *Sharded) send(sh *shard, msg shardMsg) {
+	if s.obsv != nil || s.tracer != nil {
+		msg.enq = time.Now()
+	}
 	select {
 	case sh.in <- msg:
 	default:
@@ -236,7 +267,14 @@ func (s *Sharded) send(sh *shard, msg shardMsg) {
 // comment for the ingest contract (single ingest goroutine; frames without
 // a TCP/UDP 5-tuple are dropped and counted in Ignored).
 func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
+	var t0 time.Time
+	if s.obsv != nil {
+		t0 = time.Now()
+	}
 	f, idx, ok := s.decode(ts, frame)
+	if s.obsv != nil {
+		s.obsv.Record(obs.StageDecode, time.Since(t0))
+	}
 	if !ok {
 		return
 	}
@@ -251,17 +289,27 @@ func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
 // is copied into a pooled arena, so callers may reuse the batch and its
 // buffers immediately. See the type comment for the ingest contract.
 func (s *Sharded) HandlePacketBatch(pkts []IngestPacket) {
+	// Rolling clock: one time.Now per frame when observed, attributing the
+	// full per-frame ingest cost (decode + arena pack) to StageDecode.
+	var t0 time.Time
+	if s.obsv != nil {
+		t0 = time.Now()
+	}
 	for _, pkt := range pkts {
 		f, idx, ok := s.decode(pkt.TS, pkt.Data)
-		if !ok {
-			continue
+		if ok {
+			b := s.pending[idx]
+			if b == nil {
+				b = s.getBatch()
+				s.pending[idx] = b
+			}
+			b.add(f, pkt.Data)
 		}
-		b := s.pending[idx]
-		if b == nil {
-			b = s.getBatch()
-			s.pending[idx] = b
+		if s.obsv != nil {
+			t1 := time.Now()
+			s.obsv.Record(obs.StageDecode, t1.Sub(t0))
+			t0 = t1
 		}
-		b.add(f, pkt.Data)
 	}
 	for idx, b := range s.pending {
 		if b != nil {
@@ -348,6 +396,27 @@ func (s *Sharded) OversizedHandshakes() uint64 {
 	}
 	return n
 }
+
+// QueueDepths reports each shard's current inbox occupancy in messages —
+// the live back-pressure picture (Stalls only counts after the fact). Safe
+// from any goroutine; values are instantaneous and independently sampled.
+func (s *Sharded) QueueDepths() []int {
+	out := make([]int, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = len(sh.in)
+	}
+	return out
+}
+
+// QueueCapacity reports the per-shard inbox capacity in messages.
+func (s *Sharded) QueueCapacity() int { return cap(s.shards[0].in) }
+
+// ResultsBuffered reports how many classified records are currently queued
+// in the Results channel awaiting the consumer. Safe from any goroutine.
+func (s *Sharded) ResultsBuffered() int { return len(s.results) }
+
+// ResultsCapacity reports the Results channel capacity.
+func (s *Sharded) ResultsCapacity() int { return cap(s.results) }
 
 // Dropped reports how many results were discarded because the consumer was
 // not draining Results. Safe from any goroutine.

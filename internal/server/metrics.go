@@ -161,6 +161,101 @@ var metricsCatalog = []metricDef{
 			}
 			return gauge1("videoplat_replay_done", done)
 		}},
+	{"videoplat_stage_latency_seconds", "gauge", "Per-stage pipeline latency quantiles since start (stage and quantile labels; quantile is 0.5, 0.9 or 0.99).", false,
+		func(st *Stats) []string {
+			var out []string
+			for _, ls := range st.Latency {
+				if ls.Count == 0 {
+					continue
+				}
+				for _, q := range []struct {
+					label string
+					ms    float64
+				}{{"0.5", ls.P50Ms}, {"0.9", ls.P90Ms}, {"0.99", ls.P99Ms}} {
+					out = append(out, fmt.Sprintf("videoplat_stage_latency_seconds{stage=%q,quantile=%q} %g",
+						ls.Stage, q.label, q.ms/1e3))
+				}
+			}
+			return out
+		}},
+	{"videoplat_stage_latency_max_seconds", "gauge", "Per-stage maximum observed latency since start.", false,
+		func(st *Stats) []string {
+			var out []string
+			for _, ls := range st.Latency {
+				if ls.Count == 0 {
+					continue
+				}
+				out = append(out, fmt.Sprintf("videoplat_stage_latency_max_seconds{stage=%q} %g",
+					ls.Stage, ls.MaxMs/1e3))
+			}
+			return out
+		}},
+	{"videoplat_stage_latency_samples_total", "counter", "Latency samples recorded per pipeline stage.", false,
+		func(st *Stats) []string {
+			out := make([]string, 0, len(st.Latency))
+			for _, ls := range st.Latency {
+				out = append(out, fmt.Sprintf("videoplat_stage_latency_samples_total{stage=%q} %d",
+					ls.Stage, ls.Count))
+			}
+			return out
+		}},
+	{"videoplat_shard_queue_depth", "gauge", "Live per-shard ingest inbox occupancy in batch messages.", false,
+		func(st *Stats) []string {
+			out := make([]string, 0, len(st.Ingest.QueueDepths))
+			for i, d := range st.Ingest.QueueDepths {
+				out = append(out, fmt.Sprintf("videoplat_shard_queue_depth{shard=\"%d\"} %d", i, d))
+			}
+			return out
+		}},
+	{"videoplat_shard_queue_capacity", "gauge", "Per-shard ingest inbox capacity in batch messages.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_shard_queue_capacity", float64(st.Ingest.QueueCapacity))
+		}},
+	{"videoplat_results_buffered", "gauge", "Classified results waiting in the results channel.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_results_buffered", float64(st.Ingest.ResultsBuffered))
+		}},
+	{"videoplat_results_capacity", "gauge", "Results channel capacity.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_results_capacity", float64(st.Ingest.ResultsCapacity))
+		}},
+	{"videoplat_trace_spans_total", "counter", "Flow-lifecycle sampler activity (event label: offered, admitted or finished).", false,
+		func(st *Stats) []string {
+			return []string{
+				fmt.Sprintf("videoplat_trace_spans_total{event=\"offered\"} %d", st.Trace.Offered),
+				fmt.Sprintf("videoplat_trace_spans_total{event=\"admitted\"} %d", st.Trace.Admitted),
+				fmt.Sprintf("videoplat_trace_spans_total{event=\"finished\"} %d", st.Trace.Finished),
+			}
+		}},
+	{"videoplat_goroutines", "gauge", "Live goroutine count.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_goroutines", float64(st.Runtime.Goroutines))
+		}},
+	{"videoplat_heap_alloc_bytes", "gauge", "Live heap bytes in use.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_heap_alloc_bytes", float64(st.Runtime.HeapAllocBytes))
+		}},
+	{"videoplat_heap_objects", "gauge", "Live heap object count.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_heap_objects", float64(st.Runtime.HeapObjects))
+		}},
+	{"videoplat_gc_cycles_total", "counter", "Completed garbage-collection cycles.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_gc_cycles_total", float64(st.Runtime.NumGC))
+		}},
+	{"videoplat_gc_pause_seconds_total", "counter", "Cumulative stop-the-world GC pause time.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_gc_pause_seconds_total", st.Runtime.PauseTotalMs/1e3)
+		}},
+	{"videoplat_uptime_seconds", "gauge", "Seconds since the daemon started.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_uptime_seconds", st.UptimeSeconds)
+		}},
+	{"videoplat_build_info", "gauge", "Build identification (go_version, version, revision labels; value is always 1).", false,
+		func(st *Stats) []string {
+			return []string{fmt.Sprintf("videoplat_build_info{go_version=%q,version=%q,revision=%q} 1",
+				st.Build.GoVersion, st.Build.Version, st.Build.VCSRevision)}
+		}},
 }
 
 // MetricNames lists every videoplat_* series /metrics can emit, in

@@ -45,8 +45,10 @@ import (
 	"io"
 	"net"
 	"net/http"
+	netpprof "net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +56,7 @@ import (
 	"videoplat/internal/drift"
 	"videoplat/internal/features"
 	"videoplat/internal/flowtable"
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 	"videoplat/internal/registry"
 	"videoplat/internal/telemetry"
@@ -119,6 +122,22 @@ type Config struct {
 	// path's classifications and promotions hot-swap the bank. The caller
 	// should have bound it to Drift via BindMonitor.
 	Retrainer *registry.Retrainer
+
+	// EnablePprof serves Go's runtime profiling endpoints under
+	// /debug/pprof/ (CPU/heap profiles, goroutine dumps, execution traces).
+	// Off by default: profiles expose internals and CPU profiling costs a
+	// few percent while running, so turning it on is an explicit operator
+	// decision (-pprof).
+	EnablePprof bool
+	// TraceSampleEvery admits every Nth new flow to lifecycle tracing
+	// (default 256; <0 disables tracing entirely). 1 traces every flow —
+	// useful in tests, expensive at line rate.
+	TraceSampleEvery int
+	// TraceRing is how many finished spans /trace retains (default 256).
+	TraceRing int
+	// TraceSlowest is how many slowest-flow exemplars /trace retains
+	// separately (default 16).
+	TraceSlowest int
 }
 
 func (c *Config) fillDefaults() {
@@ -149,6 +168,8 @@ type Server struct {
 	sharded *pipeline.Sharded
 	rollup  *telemetry.Rollup
 	store   *telemetry.Store
+	obsv    *obs.PipelineObserver
+	tracer  *obs.Tracer
 	lis     net.Listener
 	httpSrv *http.Server
 
@@ -197,6 +218,12 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		src:        src,
 		rollup:     telemetry.NewRollup(cfg.WindowWidth, sink),
 		store:      store,
+		obsv:       obs.NewPipelineObserver(),
+		tracer: obs.NewTracer(obs.TracerConfig{
+			SampleEvery: cfg.TraceSampleEvery,
+			Ring:        cfg.TraceRing,
+			Slowest:     cfg.TraceSlowest,
+		}),
 		evictions:  make(chan *pipeline.FlowRecord, 1024),
 		replayDone: make(chan struct{}),
 		aggDone:    make(chan struct{}),
@@ -207,6 +234,8 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		ShardQueueDepth: cfg.ShardQueueDepth,
 		ResultsBuffer:   cfg.ResultsBuffer,
 		MaxHelloBytes:   cfg.MaxHelloBytes,
+		Observer:        s.obsv,
+		Tracer:          s.tracer,
 		OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
 			s.evictions <- rec
 		},
@@ -288,6 +317,8 @@ var routes = []struct {
 	{"POST /models/promote", (*Server).handleModelsPromote},
 	{"POST /models/rollback", (*Server).handleModelsRollback},
 	{"GET /models/export", (*Server).handleModelsExport},
+	{"GET /trace", (*Server).handleTrace},
+	{"GET /debug/pprof/", (*Server).handlePprof},
 }
 
 // Endpoints lists every operations API route as "METHOD /path" patterns, in
@@ -373,7 +404,7 @@ func (s *Server) finishPipeline() {
 		residual = []*pipeline.FlowRecord{} // non-nil: /flows treats nil as "draining"
 	}
 	for _, rec := range residual {
-		s.rollup.Add(rec)
+		s.addToRollup(rec)
 		s.finalized.Add(1)
 	}
 	s.rollup.Flush()
@@ -486,10 +517,18 @@ func (s *Server) aggregate() {
 				evictions = nil
 				continue
 			}
-			s.rollup.Add(rec)
+			s.addToRollup(rec)
 			s.finalized.Add(1)
 		}
 	}
+}
+
+// addToRollup commits one finalized record to the rollup, timed as the
+// pipeline's rollup stage.
+func (s *Server) addToRollup(rec *pipeline.FlowRecord) {
+	t0 := time.Now()
+	s.rollup.Add(rec)
+	s.obsv.Record(obs.StageRollup, time.Since(t0))
 }
 
 // Stats is the /stats document.
@@ -527,7 +566,50 @@ type Stats struct {
 		// OversizedHandshakes counts flows abandoned because their
 		// buffered handshake bytes exceeded the MaxHelloBytes cap.
 		OversizedHandshakes uint64 `json:"oversized_handshakes"`
+		// QueueDepths is the live per-shard ingest inbox occupancy in batch
+		// messages; QueueCapacity is each inbox's capacity. Sustained
+		// near-capacity depths mean the shards can't keep up (see Stalls).
+		QueueDepths   []int `json:"queue_depths"`
+		QueueCapacity int   `json:"queue_capacity"`
+		// ResultsBuffered/ResultsCapacity is the classified-results channel's
+		// live occupancy; a full buffer is where DroppedResults come from.
+		ResultsBuffered int `json:"results_buffered"`
+		ResultsCapacity int `json:"results_capacity"`
 	} `json:"ingest"`
+
+	// Latency is the per-stage pipeline latency digest (count, mean and
+	// p50/p90/p99/max per stage) since process start. GET /trace serves
+	// per-flow exemplars behind the same stages.
+	Latency []obs.StageStats `json:"latency"`
+
+	// Trace reports the flow-lifecycle sampler's counters; the spans
+	// themselves are served by GET /trace.
+	Trace struct {
+		// SampleEvery is the 1-in-N admission rate (<0 = tracing disabled).
+		SampleEvery int `json:"sample_every"`
+		// Offered counts flows seen by the sampler, Admitted spans started,
+		// Finished spans completed.
+		Offered  uint64 `json:"offered"`
+		Admitted uint64 `json:"admitted"`
+		Finished uint64 `json:"finished"`
+	} `json:"trace"`
+
+	// Runtime is the Go runtime's live gauges (goroutines, heap, GC pauses).
+	Runtime obs.RuntimeStats `json:"runtime"`
+	// Build identifies the running binary (Go version, module version, VCS
+	// revision when stamped).
+	Build obs.BuildInfo `json:"build"`
+
+	// Config echoes the effective daemon configuration after defaulting, so
+	// an operator can confirm what a running instance is actually doing.
+	Config struct {
+		Shards           int     `json:"shards"`
+		MaxFlows         int     `json:"max_flows"`
+		BatchSize        int     `json:"batch_size"`
+		WindowSeconds    float64 `json:"window_seconds"`
+		TraceSampleEvery int     `json:"trace_sample_every"`
+		PprofEnabled     bool    `json:"pprof_enabled"`
+	} `json:"config"`
 
 	ClassifiedFlows uint64            `json:"classified_flows"`
 	UnknownFlows    uint64            `json:"unknown_flows"`
@@ -589,6 +671,24 @@ func (s *Server) Snapshot() Stats {
 	st.Ingest.FilteredFrames = ing.Filtered
 	st.Ingest.Stalls = ing.Stalls
 	st.Ingest.OversizedHandshakes = ing.OversizedHandshakes
+	st.Ingest.QueueDepths = s.sharded.QueueDepths()
+	st.Ingest.QueueCapacity = s.sharded.QueueCapacity()
+	st.Ingest.ResultsBuffered = s.sharded.ResultsBuffered()
+	st.Ingest.ResultsCapacity = s.sharded.ResultsCapacity()
+	st.Latency = s.obsv.StageStats()
+	tsnap := s.tracer.Snapshot(1) // counters only; spans served by /trace
+	st.Trace.SampleEvery = tsnap.SampleEvery
+	st.Trace.Offered = tsnap.Offered
+	st.Trace.Admitted = tsnap.Admitted
+	st.Trace.Finished = tsnap.Finished
+	st.Runtime = obs.ReadRuntimeStats()
+	st.Build = obs.ReadBuildInfo()
+	st.Config.Shards = s.cfg.Shards
+	st.Config.MaxFlows = s.cfg.MaxFlows
+	st.Config.BatchSize = s.cfg.BatchSize
+	st.Config.WindowSeconds = s.cfg.WindowWidth.Seconds()
+	st.Config.TraceSampleEvery = tsnap.SampleEvery
+	st.Config.PprofEnabled = s.cfg.EnablePprof
 	st.ClassifiedFlows = s.classified.Load()
 	st.UnknownFlows = s.unknown.Load()
 	st.FinalizedFlows = s.finalized.Load()
@@ -788,6 +888,46 @@ func (s *Server) handleModelsExport(w http.ResponseWriter, _ *http.Request) {
 		fmt.Sprintf("attachment; filename=%q", s.activeVersion()+".bank.gob"))
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.Write(blob)
+}
+
+// handleTrace serves the flow-lifecycle tracer's snapshot: sampler counters,
+// the most recently finished spans (?limit= caps them, default 32) and the
+// slowest-flow exemplars.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	limit := 32
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 1 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeJSON(w, s.tracer.Snapshot(limit))
+}
+
+// handlePprof dispatches /debug/pprof/* to Go's runtime profilers when the
+// operator opted in with -pprof, and 404s otherwise so the profiling surface
+// simply does not exist on un-flagged deployments.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnablePprof {
+		http.NotFound(w, r)
+		return
+	}
+	switch name := strings.TrimPrefix(r.URL.Path, "/debug/pprof/"); name {
+	case "":
+		netpprof.Index(w, r)
+	case "cmdline":
+		netpprof.Cmdline(w, r)
+	case "profile":
+		netpprof.Profile(w, r)
+	case "symbol":
+		netpprof.Symbol(w, r)
+	case "trace":
+		netpprof.Trace(w, r)
+	default:
+		netpprof.Handler(name).ServeHTTP(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"videoplat/internal/obs"
 )
 
 // Query group-by dimensions.
@@ -45,6 +47,17 @@ type QueryPoint struct {
 	// over the merged windows; PeakMbpsDown the highest per-flow mean.
 	MeanMbpsDown float64 `json:"mean_mbps_down,omitempty"`
 	PeakMbpsDown float64 `json:"peak_mbps_down,omitempty"`
+
+	// LatencyCount and the latency quantiles digest the bucket's merged
+	// classification-latency summary (total/ungrouped series only — cells
+	// do not carry per-group latency). Zero when the windows carried no
+	// latency summary.
+	LatencyCount  uint64  `json:"latency_count,omitempty"`
+	LatencyP50Ms  float64 `json:"latency_p50_ms,omitempty"`
+	LatencyP90Ms  float64 `json:"latency_p90_ms,omitempty"`
+	LatencyP99Ms  float64 `json:"latency_p99_ms,omitempty"`
+	LatencyMaxMs  float64 `json:"latency_max_ms,omitempty"`
+	LatencyMeanMs float64 `json:"latency_mean_ms,omitempty"`
 }
 
 // QuerySeries is one group's time series, points in ascending Start order.
@@ -191,6 +204,7 @@ func (s *Store) Query(since, until time.Time, step time.Duration, groupBy string
 			p.Flows = b.agg.Flows // includes flows with no provider cell, if any
 			p.ClassifiedFlows = b.agg.ClassifiedFlows
 			p.LateFlows = b.agg.LateFlows
+			p.fromLatency(b.agg.Latency)
 			appendPoint("total", p)
 		case GroupProvider:
 			for key, c := range b.agg.ByProvider {
@@ -222,6 +236,21 @@ func (s *Store) Query(since, until time.Time, step time.Duration, groupBy string
 		res.Series = append(res.Series, *series[k])
 	}
 	return res, nil
+}
+
+// fromLatency fills the point's latency digest from a merged window
+// summary; a nil summary leaves the fields zero.
+func (p *QueryPoint) fromLatency(l *obs.Summary) {
+	if l == nil || l.Count == 0 {
+		return
+	}
+	const ms = 1e6 // ns per ms
+	p.LatencyCount = l.Count
+	p.LatencyP50Ms = float64(l.Quantile(0.50)) / ms
+	p.LatencyP90Ms = float64(l.Quantile(0.90)) / ms
+	p.LatencyP99Ms = float64(l.Quantile(0.99)) / ms
+	p.LatencyMaxMs = float64(l.MaxNS) / ms
+	p.LatencyMeanMs = float64(l.Mean()) / ms
 }
 
 // fromCell copies a merged cell's aggregates into the point.

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 )
 
@@ -85,6 +86,13 @@ type Window struct {
 	// this keeps every sealed rollup attributable to the models that
 	// produced it.
 	ModelVersions map[string]int `json:"model_versions,omitempty"`
+
+	// Latency digests the classification latency (FlowRecord.ClassifyNanos)
+	// of the window's flows. Mergeable bucket counts, so downsampled tiers
+	// and Query re-aggregation report the same quantiles a single wider
+	// window would have; nil when no timed classification landed (e.g. the
+	// pipeline ran without an observer).
+	Latency *obs.Summary `json:"latency,omitempty"`
 }
 
 func (w *Window) add(rec *pipeline.FlowRecord) {
@@ -125,6 +133,13 @@ func (w *Window) add(rec *pipeline.FlowRecord) {
 		}
 		w.ModelVersions[ver]++
 	}
+
+	if rec.ClassifyNanos > 0 {
+		if w.Latency == nil {
+			w.Latency = &obs.Summary{}
+		}
+		w.Latency.Observe(time.Duration(rec.ClassifyNanos))
+	}
 }
 
 func (w *Window) seal() {
@@ -150,6 +165,7 @@ func (w *Window) Clone() *Window {
 			snap.ModelVersions[k] = v
 		}
 	}
+	snap.Latency = w.Latency.Clone()
 	return &snap
 }
 
@@ -182,6 +198,12 @@ func (w *Window) Merge(src *Window) {
 		for k, v := range src.ModelVersions {
 			w.ModelVersions[k] += v
 		}
+	}
+	if src.Latency != nil {
+		if w.Latency == nil {
+			w.Latency = &obs.Summary{}
+		}
+		w.Latency.Merge(src.Latency)
 	}
 }
 
@@ -362,6 +384,7 @@ func (r *Rollup) Current() *Window {
 			snap.ModelVersions[k] = v
 		}
 	}
+	snap.Latency = r.cur.Latency.Clone()
 	snap.seal()
 	return &snap
 }

@@ -91,6 +91,7 @@ import (
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/flowtable"
 	"videoplat/internal/ml"
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 	"videoplat/internal/registry"
 	"videoplat/internal/server"
@@ -198,6 +199,35 @@ type (
 	DriftMonitor = drift.Monitor
 	// DriftConfig tunes drift detection windows and thresholds.
 	DriftConfig = drift.Config
+
+	// PipelineObserver collects zero-allocation per-stage latency
+	// histograms; attach one via PipelineConfig.Observer and read digests
+	// with StageStats.
+	PipelineObserver = obs.PipelineObserver
+	// StageStats is one stage's latency digest (count, mean, p50/p90/p99,
+	// max).
+	StageStats = obs.StageStats
+	// LatencyHistogram is the underlying wait-free log-linear histogram.
+	LatencyHistogram = obs.Histogram
+	// LatencySummary is a sparse, mergeable, JSON-serializable latency
+	// digest — the form rollup windows carry so downsampled telemetry
+	// reports the same quantiles.
+	LatencySummary = obs.Summary
+	// FlowTracer samples flow lifecycles (1-in-N) into pooled spans;
+	// attach one via PipelineConfig.Tracer.
+	FlowTracer = obs.Tracer
+	// FlowTracerConfig tunes sampling rate and span retention.
+	FlowTracerConfig = obs.TracerConfig
+	// FlowSpan is one sampled flow's lifecycle record: per-stage timings,
+	// shard, queue depth at admission, model version and verdict.
+	FlowSpan = obs.Span
+	// TraceSnapshot is a tracer's state: counters, recent spans and
+	// slowest-flow exemplars (GET /trace).
+	TraceSnapshot = obs.TraceSnapshot
+	// RuntimeStats are Go runtime gauges (goroutines, heap, GC pauses).
+	RuntimeStats = obs.RuntimeStats
+	// BuildInfo identifies the running binary.
+	BuildInfo = obs.BuildInfo
 )
 
 // Providers.
@@ -341,3 +371,17 @@ func NewDriftMonitor(cfg DriftConfig) *DriftMonitor { return drift.NewMonitor(cf
 func NewRetrainer(reg *Registry, cfg RetrainerConfig) (*Retrainer, error) {
 	return registry.NewRetrainer(reg, cfg)
 }
+
+// NewPipelineObserver returns a per-stage latency collector. Recording is
+// wait-free and allocation-free; attach it to any pipeline via
+// PipelineConfig.Observer (the Server wires one automatically and serves
+// its digests in /stats and /metrics).
+func NewPipelineObserver() *PipelineObserver { return obs.NewPipelineObserver() }
+
+// NewFlowTracer returns a deterministic 1-in-N flow-lifecycle sampler.
+// Attach it via PipelineConfig.Tracer; read spans with Snapshot (the Server
+// serves its tracer over GET /trace).
+func NewFlowTracer(cfg FlowTracerConfig) *FlowTracer { return obs.NewTracer(cfg) }
+
+// ReadRuntimeStats snapshots the Go runtime's health gauges.
+func ReadRuntimeStats() RuntimeStats { return obs.ReadRuntimeStats() }
