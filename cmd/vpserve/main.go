@@ -38,6 +38,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strconv"
@@ -48,6 +49,7 @@ import (
 	"videoplat/internal/drift"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/ml"
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 	"videoplat/internal/registry"
 	"videoplat/internal/server"
@@ -94,6 +96,9 @@ type options struct {
 	shadowAgree float64
 	saveOnExit  string
 	driftAfter  int
+
+	logFormat string
+	version   bool
 }
 
 // registerFlags binds the complete vpserve flag set onto fs. The
@@ -138,12 +143,40 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.Float64Var(&o.shadowAgree, "shadow-agreement", 0.5, "minimum candidate/active agreement on flows both predict confidently (0 = gate default 0.5, negative disables)")
 	fs.StringVar(&o.saveOnExit, "save-on-exit", "", "write the bank active at shutdown to this file (captures retrained banks)")
 	fs.IntVar(&o.driftAfter, "synth-drift-after", 0, "inject open-set platform drift after N synthetic sessions (0 = never)")
+
+	fs.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
+	fs.BoolVar(&o.version, "version", false, "print build identification and exit")
 	return o
 }
 
 func main() {
 	o := registerFlags(flag.CommandLine)
 	flag.Parse()
+
+	if o.version {
+		printVersion()
+		return
+	}
+
+	// Structured logging first: everything after this line — including the
+	// ops event journal's mirrored events — speaks slog.
+	var handler slog.Handler
+	switch o.logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "vpserve: -log-format %q: want text or json\n", o.logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler).With("app", "vpserve")
+	slog.SetDefault(logger)
+
+	// One journal serves every subsystem: the retrainer records the model
+	// lifecycle into it, the server records swaps/drift/health into it and
+	// serves it at GET /events, and each event mirrors as a slog line above.
+	journal := obs.NewJournal(0, logger)
 
 	bank := loadOrTrainBank(o.model, o.seed, o.trainScale)
 
@@ -161,8 +194,8 @@ func main() {
 			// A previous run left an active version; prefer it over
 			// self-training from scratch.
 			bank = cur.Bank
-			fmt.Fprintf(os.Stderr, "vpserve: serving registry version %s from %s\n",
-				cur.Manifest.ID, o.registryDir)
+			slog.Info("serving registry version",
+				"version", cur.Manifest.ID, "dir", o.registryDir)
 		} else {
 			reason := "initial (self-trained)"
 			if o.model != "" {
@@ -173,7 +206,7 @@ func main() {
 			v, err := reg.Promote(m.ID)
 			exitOn(err)
 			bank = v.Bank // serve the registry's copy, not the Add argument
-			fmt.Fprintf(os.Stderr, "vpserve: registered bank as %s in %s\n", m.ID, o.registryDir)
+			slog.Info("registered bank", "version", m.ID, "dir", o.registryDir)
 		}
 		mon = drift.NewMonitor(drift.Config{
 			Window:         o.driftWindow,
@@ -189,6 +222,7 @@ func main() {
 			Train:    retrainFunc(o.trainScale, o.driftAfter > 0),
 			Seed:     o.seed + 1000,
 			Cooldown: o.cooldown,
+			Events:   journal,
 			Gate: registry.Gate{
 				SampleRate:   o.shadowRate,
 				MinFlows:     o.shadowFlows,
@@ -205,11 +239,11 @@ func main() {
 		var err error
 		src, err = server.OpenFileSource(o.pcapPath)
 		exitOn(err)
-		fmt.Fprintf(os.Stderr, "vpserve: replaying %s\n", o.pcapPath)
+		slog.Info("replaying capture", "pcap", o.pcapPath)
 	default:
 		src = server.NewDriftingSynthSource(o.seed, o.synth, o.driftAfter)
-		fmt.Fprintf(os.Stderr, "vpserve: generating synthetic traffic (%v sessions%s)\n",
-			sessionsDesc(o.synth), driftDesc(o.driftAfter))
+		slog.Info("generating synthetic traffic",
+			"sessions", sessionsDesc(o.synth), "drift_after", o.driftAfter)
 	}
 
 	var sink telemetry.Sink
@@ -240,6 +274,7 @@ func main() {
 		Registry:        reg,
 		Drift:           mon,
 		Retrainer:       rt,
+		Journal:         journal,
 
 		EnablePprof:      o.pprof,
 		TraceSampleEvery: o.traceSample,
@@ -247,7 +282,9 @@ func main() {
 		TraceSlowest:     o.traceSlowest,
 	})
 	exitOn(err)
-	fmt.Fprintf(os.Stderr, "vpserve: operations API on http://%s (/stats /flows /windows /query /models /trace /healthz /metrics)\n", srv.Addr())
+	slog.Info("operations API listening",
+		"addr", "http://"+srv.Addr(),
+		"endpoints", "/stats /flows /windows /query /events /models /trace /healthz /readyz /metrics")
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -259,7 +296,7 @@ func main() {
 		go func() {
 			select {
 			case <-srv.ReplayDone():
-				fmt.Fprintln(os.Stderr, "vpserve: replay finished, shutting down")
+				slog.Info("replay finished, shutting down")
 				cancel()
 			case <-inner.Done():
 			}
@@ -269,14 +306,21 @@ func main() {
 	exitOn(srv.Run(ctx))
 
 	st := srv.Snapshot()
-	fmt.Fprintf(os.Stderr,
-		"vpserve: done — %d packets in %d batches (%d ignored, %d stalls), %d flows tracked (%d evicted idle, %d evicted cap), %d classified, %d rollup windows (%d retained, %d evicted from store), model %s (%d swaps)\n",
-		st.Replay.Packets, st.Ingest.Batches, st.Ingest.IgnoredFrames, st.Ingest.Stalls,
-		st.FlowTable.Inserted,
-		st.FlowTable.EvictedIdle, st.FlowTable.EvictedCap,
-		st.ClassifiedFlows, st.Rollup.Sealed,
-		st.Rollup.Store.Tiers[0].Windows, st.Rollup.Store.EvictedCount+st.Rollup.Store.EvictedAge,
-		st.Models.ActiveVersion, st.Models.Swaps)
+	slog.Info("done",
+		"packets", st.Replay.Packets,
+		"batches", st.Ingest.Batches,
+		"ignored_frames", st.Ingest.IgnoredFrames,
+		"stalls", st.Ingest.Stalls,
+		"flows_tracked", st.FlowTable.Inserted,
+		"evicted_idle", st.FlowTable.EvictedIdle,
+		"evicted_cap", st.FlowTable.EvictedCap,
+		"classified", st.ClassifiedFlows,
+		"rollup_windows", st.Rollup.Sealed,
+		"store_windows", st.Rollup.Store.Tiers[0].Windows,
+		"store_evicted", st.Rollup.Store.EvictedCount+st.Rollup.Store.EvictedAge,
+		"model", st.Models.ActiveVersion,
+		"swaps", st.Models.Swaps,
+		"events", st.Events.Total)
 
 	if o.saveOnExit != "" {
 		active := bank
@@ -288,8 +332,27 @@ func main() {
 		blob, err := active.MarshalBinary()
 		exitOn(err)
 		exitOn(os.WriteFile(o.saveOnExit, blob, 0o644))
-		fmt.Fprintf(os.Stderr, "vpserve: saved active bank (%s, %d bytes) to %s\n",
-			st.Models.ActiveVersion, len(blob), o.saveOnExit)
+		slog.Info("saved active bank",
+			"version", st.Models.ActiveVersion, "bytes", len(blob), "path", o.saveOnExit)
+	}
+}
+
+// printVersion writes the binary's build identification — the same
+// internal/obs data /stats serves, available without a running daemon.
+func printVersion() {
+	bi := obs.ReadBuildInfo()
+	fmt.Printf("vpserve %s\n", bi.Version)
+	fmt.Printf("  module:   %s\n", bi.Module)
+	fmt.Printf("  go:       %s\n", bi.GoVersion)
+	if bi.VCSRevision != "" {
+		dirty := ""
+		if bi.VCSModified {
+			dirty = " (modified)"
+		}
+		fmt.Printf("  revision: %s%s\n", bi.VCSRevision, dirty)
+	}
+	if bi.VCSTime != "" {
+		fmt.Printf("  built:    %s\n", bi.VCSTime)
 	}
 }
 
@@ -351,7 +414,7 @@ func buildStore(window time.Duration, retain, tiers, persist string) (*telemetry
 		return nil, nil, fmt.Errorf("-telemetry-persist %s: %v (repair or remove the file)", persist, err)
 	}
 	if n > 0 {
-		fmt.Fprintf(os.Stderr, "vpserve: reloaded %d telemetry windows from %s\n", n, persist)
+		slog.Info("reloaded telemetry windows", "windows", n, "path", persist)
 	}
 	return store, func() { f.Close() }, nil
 }
@@ -392,11 +455,11 @@ func loadOrTrainBank(path string, seed uint64, scale float64) *pipeline.Bank {
 			exitOn(fmt.Errorf("loading -model %s: %w", path, err))
 		}
 		if bank.Version != "" {
-			fmt.Fprintf(os.Stderr, "vpserve: loaded %s (version %s)\n", path, bank.Version)
+			slog.Info("loaded model", "path", path, "version", bank.Version)
 		}
 		return &bank
 	}
-	fmt.Fprintf(os.Stderr, "vpserve: no -model given, self-training a demo bank (scale %.2f)...\n", scale)
+	slog.Info("no -model given, self-training a demo bank", "scale", scale)
 	ds, err := tracegen.New(seed^0x5eed).LabDataset(scale, fingerprint.Options{})
 	exitOn(err)
 	bank, err := pipeline.TrainBank(ds, pipeline.TrainConfig{Forest: ml.ForestConfig{
@@ -421,7 +484,7 @@ func driftDesc(after int) string {
 
 func exitOn(err error) {
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vpserve:", err)
+		slog.Error("fatal", "error", err)
 		os.Exit(1)
 	}
 }

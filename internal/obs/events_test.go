@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestJournalRecordAndFilter(t *testing.T) {
+	j := NewJournal(16, nil)
+	j.Record(EventModelPromote, "promoted", "version", "v1")
+	j.Record(EventDriftTrigger, "drifting", "provider", "youtube")
+	j.Record(EventModelPromote, "promoted", "version", "v2")
+
+	all := j.Events(0, "", 0)
+	if len(all) != 3 {
+		t.Fatalf("events = %d, want 3", len(all))
+	}
+	for i, ev := range all {
+		if ev.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+	if all[0].Fields["version"] != "v1" || all[2].Fields["version"] != "v2" {
+		t.Errorf("fields lost: %+v / %+v", all[0].Fields, all[2].Fields)
+	}
+
+	// since resumes after a seen sequence number.
+	if got := j.Events(1, "", 0); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("since=1: %+v", got)
+	}
+	// type narrows to one vocabulary entry.
+	if got := j.Events(0, EventModelPromote, 0); len(got) != 2 || got[1].Fields["version"] != "v2" {
+		t.Errorf("type filter: %+v", got)
+	}
+	// limit keeps the newest matches, not the oldest.
+	if got := j.Events(0, "", 2); len(got) != 2 || got[0].Seq != 2 {
+		t.Errorf("limit=2: %+v", got)
+	}
+}
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(4, nil)
+	for i := 0; i < 10; i++ {
+		j.Record(EventSinkError, fmt.Sprintf("failure %d", i))
+	}
+	st := j.Stats()
+	if st.Total != 10 || st.Retained != 4 || st.Dropped != 6 {
+		t.Fatalf("stats = %+v, want total 10 retained 4 dropped 6", st)
+	}
+	if st.ByType[string(EventSinkError)] != 10 {
+		t.Errorf("by-type count = %d, want 10 (dropped events stay counted)", st.ByType[string(EventSinkError)])
+	}
+	evs := j.Events(0, "", 0)
+	if len(evs) != 4 || evs[0].Seq != 7 || evs[3].Seq != 10 {
+		t.Fatalf("retained = %+v, want seqs 7..10 oldest-first", evs)
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(EventModelSwap, "into the void")
+	if got := j.Events(0, "", 0); got != nil {
+		t.Errorf("nil journal events = %v", got)
+	}
+	if st := j.Stats(); st.Total != 0 {
+		t.Errorf("nil journal stats = %+v", st)
+	}
+}
+
+func TestJournalMirrorsToLogger(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(8, slog.New(slog.NewJSONHandler(&buf, nil)))
+	j.Record(EventShadowVerdict, "candidate rejected", "version", "v3", "promoted", "false")
+	line := buf.String()
+	for _, want := range []string{`"event":"shadow_verdict"`, `"seq":1`, `"version":"v3"`, `"msg":"candidate rejected"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %s: %s", want, line)
+		}
+	}
+}
+
+func TestEventTypesStable(t *testing.T) {
+	a, b := EventTypes(), EventTypes()
+	if len(a) == 0 {
+		t.Fatal("no event types")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("EventTypes order unstable at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+	seen := make(map[EventType]bool, len(a))
+	for _, typ := range a {
+		if seen[typ] {
+			t.Errorf("duplicate event type %s", typ)
+		}
+		seen[typ] = true
+	}
+}

@@ -260,10 +260,19 @@ type Prediction struct {
 
 	Platform     string
 	PlatformConf float64
-	Device       string
-	DeviceConf   float64
-	Agent        string
-	AgentConf    float64
+	// PlatformMargin is the probability gap between the platform model's top
+	// class and its runner-up — how decisively the forest separated the
+	// winner, lifted from the same PredictProbaInto pass that produced
+	// PlatformConf. A high-confidence, low-margin prediction means two
+	// platforms looked almost equally likely; telemetry folds it alongside
+	// the confidence so operators can see decisiveness decay before the
+	// selector starts abstaining. Equal to PlatformConf when the model knows
+	// only one class.
+	PlatformMargin float64
+	Device         string
+	DeviceConf     float64
+	Agent          string
+	AgentConf      float64
 }
 
 // Classify runs the three objectives for a flow and applies the confidence
@@ -277,7 +286,7 @@ func (b *Bank) Classify(prov fingerprint.Provider, tr fingerprint.Transport, v *
 	if e == nil {
 		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr)
 	}
-	p.Platform, p.PlatformConf = e.platform.Predict(v)
+	p.Platform, p.PlatformConf, p.PlatformMargin = e.platform.predictMargin(v)
 	p.Device, p.DeviceConf = e.device.Predict(v)
 	p.Agent, p.AgentConf = e.agent.Predict(v)
 	p.applySelector()
@@ -318,7 +327,7 @@ func (b *Bank) ClassifyHandshake(prov fingerprint.Provider, tr fingerprint.Trans
 		sc = &ClassifyScratch{}
 	}
 	sc.vec = e.shared.EncodeInto(sc.vec, info, &sc.enc)
-	p.Platform, p.PlatformConf = e.platform.predictInto(sc.vec, &sc.proba)
+	p.Platform, p.PlatformConf, p.PlatformMargin = e.platform.predictIntoMargin(sc.vec, &sc.proba)
 	p.Device, p.DeviceConf = e.device.predictInto(sc.vec, &sc.proba)
 	p.Agent, p.AgentConf = e.agent.predictInto(sc.vec, &sc.proba)
 	p.applySelector()
@@ -330,6 +339,40 @@ func (b *Bank) ClassifyHandshake(prov fingerprint.Provider, tr fingerprint.Trans
 func (m *Model) predictInto(x []float64, proba *[]float64) (string, float64) {
 	ci, conf := m.Forest.PredictInto(x, proba)
 	return m.Classes[ci], conf
+}
+
+// predictIntoMargin is predictInto plus the top-1/top-2 probability margin,
+// read from the probability vector the forest already filled — no extra
+// inference pass and no allocations.
+func (m *Model) predictIntoMargin(x []float64, proba *[]float64) (string, float64, float64) {
+	ci, conf := m.Forest.PredictInto(x, proba)
+	return m.Classes[ci], conf, probaMargin(*proba, ci, conf)
+}
+
+// predictMargin is the reference-path twin of predictIntoMargin, used by
+// Classify so both classification paths compute the margin from the same
+// PredictProbaInto output and stay bitwise identical (golden equivalence).
+func (m *Model) predictMargin(v *features.FieldValues) (string, float64, float64) {
+	x := m.Encoder.Transform(v)
+	var proba []float64
+	ci, conf := m.Forest.PredictInto(x, &proba)
+	return m.Classes[ci], conf, probaMargin(proba, ci, conf)
+}
+
+// probaMargin is the gap between the winning class probability and the best
+// runner-up. With a single-class model there is no runner-up and the margin
+// equals the confidence (maximally decisive).
+func probaMargin(proba []float64, best int, conf float64) float64 {
+	second := -1.0
+	for i, v := range proba {
+		if i != best && v > second {
+			second = v
+		}
+	}
+	if second < 0 {
+		return conf
+	}
+	return conf - second
 }
 
 // applySelector applies the §4.1 confidence selector to raw per-objective

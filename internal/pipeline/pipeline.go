@@ -11,6 +11,81 @@ import (
 	"videoplat/internal/packet"
 )
 
+// Verdict is the pipeline's terminal decision taxonomy for a flow: not just
+// whether classification succeeded, but why it did not. Every flow that
+// reaches a terminal state carries exactly one verdict; telemetry folds the
+// counts per window so operators can distinguish "the classifier is
+// abstaining" (model problem) from "flows never present a handshake"
+// (traffic problem).
+type Verdict uint8
+
+// Flow verdicts.
+const (
+	// VerdictPending marks a flow still awaiting a terminal decision (or
+	// evicted before reaching one). The zero value, so untouched records are
+	// honest about it.
+	VerdictPending Verdict = iota
+	// VerdictClassified: the confidence selector accepted a composite or
+	// partial prediction.
+	VerdictClassified
+	// VerdictAbstained: classification ran but no objective cleared the
+	// confidence threshold — the §4.1 open-set rejection.
+	VerdictAbstained
+	// VerdictBaselineOnly is reserved for the degradation ladder (ROADMAP):
+	// the flow was labeled by the cheap JA3 baseline because the full
+	// classifier was shed under overload. Nothing emits it yet; it exists so
+	// the telemetry schema does not change when the ladder lands.
+	VerdictBaselineOnly
+	// VerdictNoHandshake: no ClientHello surfaced in the first packets.
+	VerdictNoHandshake
+	// VerdictOversized: buffered handshake bytes exceeded MaxHelloBytes and
+	// the flow was abandoned unclassified.
+	VerdictOversized
+	// VerdictNotVideo: a handshake parsed but its SNI matched no video
+	// provider.
+	VerdictNotVideo
+	// VerdictError: the classifier bank returned an error (e.g. no models
+	// for the provider/transport).
+	VerdictError
+
+	// NumVerdicts is the number of Verdict values, for fixed-size counter
+	// arrays.
+	NumVerdicts = int(VerdictError) + 1
+)
+
+// String names the verdict; these strings are the stable vocabulary used in
+// telemetry windows, /query series and /metrics labels.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictClassified:
+		return "classified"
+	case VerdictAbstained:
+		return "abstained"
+	case VerdictBaselineOnly:
+		return "baseline-only"
+	case VerdictNoHandshake:
+		return "no-handshake"
+	case VerdictOversized:
+		return "oversized"
+	case VerdictNotVideo:
+		return "not-video"
+	case VerdictError:
+		return "error"
+	default:
+		return "pending"
+	}
+}
+
+// VerdictNames lists every verdict's stable string, indexed by Verdict
+// value, for emitters that enumerate the taxonomy (metrics, docs).
+func VerdictNames() [NumVerdicts]string {
+	var out [NumVerdicts]string
+	for i := range out {
+		out[i] = Verdict(i).String()
+	}
+	return out
+}
+
 // FlowRecord is the pipeline's per-flow output: provider, classified user
 // platform and volumetric telemetry — the rows stored in the paper's
 // PostgreSQL database.
@@ -23,6 +98,10 @@ type FlowRecord struct {
 
 	Prediction Prediction
 	Classified bool
+	// Verdict records why the flow reached its terminal state — classified,
+	// abstained, or one of the never-classified outcomes. VerdictPending for
+	// flows evicted before a decision.
+	Verdict Verdict
 	// ModelVersion is the registry version of the bank that classified the
 	// flow (empty for unversioned banks), so downstream telemetry remains
 	// attributable to the exact model that produced it across hot-swaps.
@@ -175,6 +254,11 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
 		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
 			p.finishSpan(st, "evicted")
+			if st.rec.Verdict == VerdictPending {
+				// Evicted before the handshake resolved: the classifier
+				// never saw this flow.
+				st.rec.Verdict = VerdictNoHandshake
+			}
 			if cfg.OnEvict != nil {
 				rec := st.rec
 				cfg.OnEvict(&rec, reason)
@@ -322,9 +406,11 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		switch {
 		case st.asm.frames > 8:
 			st.done = true // no hello in the first packets: not a video flow
+			st.rec.Verdict = VerdictNoHandshake
 			p.finishSpan(st, "no-handshake")
 		case p.maxHelloBytes() > 0 && st.asm.buffered() > p.maxHelloBytes():
 			st.done = true // oversized handshake: abandon, don't buffer more
+			st.rec.Verdict = VerdictOversized
 			p.oversized.Add(1)
 			p.finishSpan(st, "oversized")
 		}
@@ -339,6 +425,7 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	prov, content, ok := MatchProvider(sni)
 	if !ok {
 		st.done = true
+		st.rec.Verdict = VerdictNotVideo
 		if st.span != nil {
 			st.span.SNI = sni // the record stays SNI-less for non-video flows
 		}
@@ -371,6 +458,7 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	}
 	st.done = true
 	if err != nil {
+		st.rec.Verdict = VerdictError
 		if st.span != nil {
 			st.span.ModelVersion = bank.Version
 		}
@@ -382,8 +470,10 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	st.rec.Classified = true
 	st.rec.ModelVersion = bank.Version
 	if pred.Status == Unknown {
+		st.rec.Verdict = VerdictAbstained
 		p.UnknownFlows++
 	} else {
+		st.rec.Verdict = VerdictClassified
 		p.ClassifiedFlows++
 	}
 	if st.span != nil {

@@ -9,6 +9,7 @@ import (
 
 	"videoplat/internal/drift"
 	"videoplat/internal/features"
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 )
 
@@ -32,6 +33,11 @@ type RetrainerConfig struct {
 	// Cooldown is the minimum wall-clock gap between training attempts
 	// (default 1 minute), so a flapping drift signal cannot melt the CPU.
 	Cooldown time.Duration
+	// Events, if non-nil, receives the retrain lifecycle as typed ops
+	// events: shadow_start when a candidate enters evaluation,
+	// shadow_verdict when it resolves, drift_rearm after a rejection, and
+	// retrain_error on training failures.
+	Events *obs.Journal
 }
 
 // shadowEval pairs a running Shadow with the candidate version under test.
@@ -65,6 +71,11 @@ type Retrainer struct {
 	retrains   atomic.Uint64
 	promotions atomic.Uint64
 	rejections atomic.Uint64
+
+	// shadowAgreed/shadowDisagreed accumulate the agreement tallies of
+	// resolved shadow evaluations; ShadowCounts adds the live one on top.
+	shadowAgreed    atomic.Uint64
+	shadowDisagreed atomic.Uint64
 
 	mu          sync.Mutex
 	lastAttempt time.Time
@@ -146,15 +157,21 @@ func (rt *Retrainer) Start(ctx context.Context) {
 		bank, err := rt.cfg.Train(req.reason, seed)
 		if err != nil {
 			rt.setErr(fmt.Errorf("registry: retraining: %w", err))
+			rt.cfg.Events.Record(obs.EventRetrainError, "background retraining failed",
+				"reason", req.reason, "error", err.Error())
 			continue
 		}
 		man, err := rt.reg.Add(bank, req.reason, seed)
 		if err != nil {
 			rt.setErr(err)
+			rt.cfg.Events.Record(obs.EventRetrainError, "storing retrained bank failed",
+				"reason", req.reason, "error", err.Error())
 			continue
 		}
 		rt.retrains.Add(1)
 		rt.shadow.Store(&shadowEval{sh: NewShadow(bank, rt.cfg.Gate), id: man.ID})
+		rt.cfg.Events.Record(obs.EventShadowStart, "candidate bank entering shadow evaluation",
+			"version", man.ID, "reason", req.reason)
 	}
 }
 
@@ -182,6 +199,13 @@ func (rt *Retrainer) resolve(se *shadowEval) {
 	if !ok {
 		return // unreachable: Observe reported readiness
 	}
+	agreed, disagreed := se.sh.Counts()
+	rt.shadowAgreed.Add(agreed)
+	rt.shadowDisagreed.Add(disagreed)
+	rt.cfg.Events.Record(obs.EventShadowVerdict, metrics.Reason,
+		"version", se.id,
+		"promoted", fmt.Sprintf("%t", metrics.Promoted),
+		"flows", fmt.Sprintf("%d", metrics.Flows))
 	if err := rt.reg.SetShadowMetrics(se.id, metrics, metrics.Promoted); err != nil {
 		rt.setErr(err)
 	}
@@ -198,7 +222,23 @@ func (rt *Retrainer) resolve(se *shadowEval) {
 		// The drift is still real; let the monitor flag it again so the
 		// next attempt trains with a different seed.
 		rt.mon.Rearm()
+		rt.cfg.Events.Record(obs.EventDriftRearm, "drift monitor re-armed after rejected candidate",
+			"version", se.id)
 	}
+}
+
+// ShadowCounts reports cumulative shadow agreement/disagreement across every
+// shadow evaluation this retrainer ran — resolved ones plus the live one, if
+// any. Counts may transiently dip while an evaluation hands off from live to
+// resolved; consumers tracking deltas should clamp. Safe from any goroutine.
+func (rt *Retrainer) ShadowCounts() (agreed, disagreed uint64) {
+	agreed, disagreed = rt.shadowAgreed.Load(), rt.shadowDisagreed.Load()
+	if se := rt.shadow.Load(); se != nil {
+		a, d := se.sh.Counts()
+		agreed += a
+		disagreed += d
+	}
+	return agreed, disagreed
 }
 
 func (rt *Retrainer) waitCooldown(ctx context.Context) bool {

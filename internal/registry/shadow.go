@@ -160,6 +160,16 @@ func (sh *Shadow) Observe(rec *pipeline.FlowRecord, hs *features.HandshakeInfo) 
 	return sh.flows >= sh.gate.MinFlows
 }
 
+// Counts reports the agreement tallies so far: among sampled flows where
+// both banks predicted a composite platform, how many agreed on the platform
+// and how many did not. Safe for concurrent use; telemetry stamps these into
+// sealed windows as shadow agreement/disagreement.
+func (sh *Shadow) Counts() (agreed, disagreed uint64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return uint64(sh.agree), uint64(sh.bothComp - sh.agree)
+}
+
 // Verdict reports whether the candidate clears the gate. ok is false until
 // MinFlows samples have accumulated.
 func (sh *Shadow) Verdict() (m ShadowMetrics, ok bool) {

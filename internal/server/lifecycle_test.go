@@ -11,6 +11,7 @@ import (
 	"videoplat/internal/drift"
 	"videoplat/internal/fingerprint"
 	"videoplat/internal/ml"
+	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
 	"videoplat/internal/registry"
 	"videoplat/internal/tracegen"
@@ -78,8 +79,9 @@ func TestModelsEndpointsHotSwapRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	journal := obs.NewJournal(64, nil)
 	srv, err := New(reg.Current().Bank, NewSynthSource(3, 500), Config{
-		Addr: "127.0.0.1:0", Shards: 2, Registry: reg,
+		Addr: "127.0.0.1:0", Shards: 2, Registry: reg, Journal: journal,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -125,6 +127,22 @@ func TestModelsEndpointsHotSwapRoundTrip(t *testing.T) {
 	}
 	if got := srv.sharded.Bank().Version; got != "v0001" {
 		t.Fatalf("pipeline bank after rollback = %q", got)
+	}
+
+	// The journal replays the operator actions as typed events: each API
+	// mutation plus the pipeline hot-swap it caused. (Pipeline-health events
+	// from the live replay interleave freely, so filter by type.)
+	promotes := journal.Events(0, obs.EventModelPromote, 0)
+	if len(promotes) != 1 || promotes[0].Fields["version"] != "v0002" {
+		t.Errorf("promote events = %+v, want one for v0002", promotes)
+	}
+	rollbacks := journal.Events(0, obs.EventModelRollback, 0)
+	if len(rollbacks) != 1 || rollbacks[0].Fields["version"] != "v0001" {
+		t.Errorf("rollback events = %+v, want one for v0001", rollbacks)
+	}
+	swaps := journal.Events(0, obs.EventModelSwap, 0)
+	if len(swaps) != 2 || swaps[0].Fields["version"] != "v0002" || swaps[1].Fields["version"] != "v0001" {
+		t.Errorf("swap events = %+v, want v0002 then v0001", swaps)
 	}
 
 	// Export captures the active bank as a loadable gob.
@@ -234,11 +252,13 @@ func TestAutoRetrainSwapsUnderInjectedDrift(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	journal := obs.NewJournal(256, nil)
 	mon := drift.NewMonitor(drift.Config{Window: 30, Baseline: 30, ConfidenceDrop: 0.05})
 	rt, err := registry.NewRetrainer(reg, registry.RetrainerConfig{
 		Train:    func(string, uint64) (*pipeline.Bank, error) { return replacement, nil },
 		Gate:     registry.Gate{SampleRate: 1, MinFlows: 25, MinAgreement: 0.05},
 		Cooldown: time.Millisecond,
+		Events:   journal,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -247,7 +267,7 @@ func TestAutoRetrainSwapsUnderInjectedDrift(t *testing.T) {
 
 	srv, err := New(reg.Current().Bank, NewDriftingSynthSource(7, 400, 100), Config{
 		Addr: "127.0.0.1:0", Shards: 2,
-		Registry: reg, Drift: mon, Retrainer: rt,
+		Registry: reg, Drift: mon, Retrainer: rt, Journal: journal,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -361,4 +381,35 @@ func TestAutoRetrainSwapsUnderInjectedDrift(t *testing.T) {
 	if !driftSeen {
 		t.Error("drift statuses never surfaced in /stats during the run")
 	}
+
+	// The journal must replay the whole autonomous loop as typed events —
+	// drift trigger, candidate entering shadow, the verdict, and the swap —
+	// in causal order (by first occurrence; a hair-trigger config may run
+	// the loop more than once).
+	evs := journal.Events(0, "", 0)
+	firstAt := map[obs.EventType]int{}
+	for i, ev := range evs {
+		if _, ok := firstAt[ev.Type]; !ok {
+			firstAt[ev.Type] = i
+		}
+	}
+	chain := []obs.EventType{
+		obs.EventDriftTrigger, obs.EventShadowStart,
+		obs.EventShadowVerdict, obs.EventModelSwap,
+	}
+	for i, typ := range chain {
+		at, ok := firstAt[typ]
+		if !ok {
+			t.Fatalf("journal missing %s: %+v", typ, evs)
+		}
+		if i > 0 && at < firstAt[chain[i-1]] {
+			t.Errorf("%s (index %d) precedes %s (index %d)", typ, at, chain[i-1], firstAt[chain[i-1]])
+		}
+	}
+	for _, ev := range evs {
+		if ev.Type == obs.EventShadowVerdict && ev.Fields["promoted"] == "true" {
+			return
+		}
+	}
+	t.Errorf("no promoted shadow verdict in journal: %+v", evs)
 }

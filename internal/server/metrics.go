@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+
+	"videoplat/internal/obs"
+	"videoplat/internal/pipeline"
 )
 
 // metricDef is one /metrics series: its Prometheus metadata plus a sampler
@@ -60,6 +63,30 @@ var metricsCatalog = []metricDef{
 	{"videoplat_flows_finalized_total", "counter", "Flow records rolled up (evicted or drained).", false,
 		func(st *Stats) []string {
 			return gauge1("videoplat_flows_finalized_total", float64(st.FinalizedFlows))
+		}},
+	{"videoplat_flow_verdicts_total", "counter", "Finalized flows by terminal verdict (verdict label: classified, abstained, no-handshake, …).", false,
+		func(st *Stats) []string {
+			names := pipeline.VerdictNames()
+			out := make([]string, 0, len(names))
+			for _, name := range names {
+				out = append(out, fmt.Sprintf("videoplat_flow_verdicts_total{verdict=%q} %d",
+					name, st.FlowVerdicts[name]))
+			}
+			return out
+		}},
+	{"videoplat_events_total", "counter", "Ops journal events recorded by type.", false,
+		func(st *Stats) []string {
+			types := obs.EventTypes()
+			out := make([]string, 0, len(types))
+			for _, t := range types {
+				out = append(out, fmt.Sprintf("videoplat_events_total{type=%q} %d",
+					t, st.Events.ByType[string(t)]))
+			}
+			return out
+		}},
+	{"videoplat_events_dropped_total", "counter", "Ops journal events aged out of the bounded ring.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_events_dropped_total", float64(st.Events.Dropped))
 		}},
 	{"videoplat_results_dropped_total", "counter", "Results dropped because the consumer lagged.", false,
 		func(st *Stats) []string {

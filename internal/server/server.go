@@ -123,6 +123,14 @@ type Config struct {
 	// should have bound it to Drift via BindMonitor.
 	Retrainer *registry.Retrainer
 
+	// Journal receives the daemon's typed ops events (model lifecycle, drift
+	// triggers, eviction pressure, sink errors…), served by GET /events and
+	// counted in /metrics. Nil selects a private journal with
+	// obs.DefaultJournalCapacity and no log mirroring; supply one to share
+	// it across subsystems (cmd/vpserve passes the same journal to the
+	// retrainer) or to mirror events into a slog logger.
+	Journal *obs.Journal
+
 	// EnablePprof serves Go's runtime profiling endpoints under
 	// /debug/pprof/ (CPU/heap profiles, goroutine dumps, execution traces).
 	// Off by default: profiles expose internals and CPU profiling costs a
@@ -173,6 +181,9 @@ type Server struct {
 	lis     net.Listener
 	httpSrv *http.Server
 
+	journal *obs.Journal
+	running atomic.Bool // ingest/replay loops started (readiness)
+
 	startWall  time.Time
 	packets    atomic.Uint64
 	batches    atomic.Uint64
@@ -181,6 +192,22 @@ type Server struct {
 	unknown    atomic.Uint64
 	finalized  atomic.Uint64 // records that reached the rollup
 	swaps      atomic.Uint64 // bank hot-swaps applied to the pipeline
+
+	// verdicts counts finalized flows by pipeline.Verdict, for /stats and
+	// the videoplat_flow_verdicts_total metric.
+	verdicts [pipeline.NumVerdicts]atomic.Uint64
+
+	// Journal edge-detection state for window-seal health events and shadow
+	// delta stamping. lastSealed/lastSinkErrs/lastCompactions/lastCapEvict
+	// are touched only from the aggregate goroutine (and finishPipeline,
+	// which runs after it exits); lastShadowAgreed/Disagreed only from the
+	// rollup enrich hook, serialized under the rollup's lock.
+	lastSealed         int
+	lastSinkErrs       uint64
+	lastCompactions    uint64
+	lastCapEvict       uint64
+	lastShadowAgreed   uint64
+	lastShadowDisagree uint64
 
 	evictions  chan *pipeline.FlowRecord
 	replayDone chan struct{}
@@ -214,21 +241,29 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		sink = telemetry.MultiSink(store, cfg.Sink)
 	}
 	s := &Server{
-		cfg:        cfg,
-		src:        src,
-		rollup:     telemetry.NewRollup(cfg.WindowWidth, sink),
-		store:      store,
-		obsv:       obs.NewPipelineObserver(),
+		cfg:    cfg,
+		src:    src,
+		rollup: telemetry.NewRollup(cfg.WindowWidth, sink),
+		store:  store,
+		obsv:   obs.NewPipelineObserver(),
 		tracer: obs.NewTracer(obs.TracerConfig{
 			SampleEvery: cfg.TraceSampleEvery,
 			Ring:        cfg.TraceRing,
 			Slowest:     cfg.TraceSlowest,
 		}),
+		journal:    cfg.Journal,
 		evictions:  make(chan *pipeline.FlowRecord, 1024),
 		replayDone: make(chan struct{}),
 		aggDone:    make(chan struct{}),
 		byProvider: map[string]uint64{},
 	}
+	if s.journal == nil {
+		s.journal = obs.NewJournal(0, nil)
+	}
+	// Window-scoped quality gauges (drift score, shadow agreement deltas)
+	// are stamped into each window as it seals; the hook runs under the
+	// rollup lock and must not call back into the rollup.
+	s.rollup.SetEnrich(s.enrichWindow)
 
 	pcfg := pipeline.Config{
 		ShardQueueDepth: cfg.ShardQueueDepth,
@@ -273,12 +308,21 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		cfg.Registry.OnSwap(func(v *registry.Version) {
 			s.sharded.SwapBank(v.Bank)
 			s.swaps.Add(1)
+			s.journal.Record(obs.EventModelSwap, "serving bank hot-swapped",
+				"version", v.Manifest.ID)
 			if cfg.Drift != nil && cfg.Retrainer == nil {
 				// No retrainer owns the monitor: reset the reference
 				// distribution here so the new bank is not judged against
 				// the old model's baseline.
 				cfg.Drift.Rebaseline()
 			}
+		})
+	}
+	if cfg.Drift != nil {
+		cfg.Drift.Subscribe(func(st drift.Status) {
+			s.journal.Record(obs.EventDriftTrigger, st.Reason,
+				"provider", st.Provider.String(),
+				"transport", st.Transport.String())
 		})
 	}
 
@@ -308,6 +352,8 @@ var routes = []struct {
 	handler func(*Server, http.ResponseWriter, *http.Request)
 }{
 	{"GET /healthz", (*Server).handleHealthz},
+	{"GET /readyz", (*Server).handleReadyz},
+	{"GET /events", (*Server).handleEvents},
 	{"GET /stats", (*Server).handleStats},
 	{"GET /flows", (*Server).handleFlows},
 	{"GET /windows", (*Server).handleWindows},
@@ -349,6 +395,7 @@ func (s *Server) Run(ctx context.Context) error {
 	replayCtx, cancelReplay := context.WithCancel(ctx)
 	defer cancelReplay()
 	go s.replay(replayCtx)
+	s.running.Store(true) // ingest machinery is live: readiness can pass
 	if s.cfg.Retrainer != nil {
 		go s.cfg.Retrainer.Start(replayCtx) // training never runs on the serving path
 	}
@@ -404,10 +451,19 @@ func (s *Server) finishPipeline() {
 		residual = []*pipeline.FlowRecord{} // non-nil: /flows treats nil as "draining"
 	}
 	for _, rec := range residual {
+		if rec.Verdict == pipeline.VerdictPending {
+			// Still open at shutdown with no completed handshake; this is
+			// its finalization, so resolve the verdict.
+			rec.Verdict = pipeline.VerdictNoHandshake
+		}
 		s.addToRollup(rec)
 		s.finalized.Add(1)
 	}
 	s.rollup.Flush()
+	if sealed := s.rollup.Sealed(); sealed != s.lastSealed {
+		s.lastSealed = sealed
+		s.sealHealthEvents()
+	}
 
 	s.mu.Lock()
 	s.finalFlows = residual
@@ -524,11 +580,21 @@ func (s *Server) aggregate() {
 }
 
 // addToRollup commits one finalized record to the rollup, timed as the
-// pipeline's rollup stage.
+// pipeline's rollup stage, and counts its verdict. When the add seals a
+// window, pipeline-health deltas (sink errors, store compactions, flow-table
+// cap pressure) are checked and journaled — once per sealed window, not per
+// flow, so the checks stay off the per-record path.
 func (s *Server) addToRollup(rec *pipeline.FlowRecord) {
 	t0 := time.Now()
+	if v := int(rec.Verdict); v < len(s.verdicts) {
+		s.verdicts[v].Add(1)
+	}
 	s.rollup.Add(rec)
 	s.obsv.Record(obs.StageRollup, time.Since(t0))
+	if sealed := s.rollup.Sealed(); sealed != s.lastSealed {
+		s.lastSealed = sealed
+		s.sealHealthEvents()
+	}
 }
 
 // Stats is the /stats document.
@@ -615,6 +681,13 @@ type Stats struct {
 	UnknownFlows    uint64            `json:"unknown_flows"`
 	FinalizedFlows  uint64            `json:"finalized_flows"`
 	ByProvider      map[string]uint64 `json:"classified_by_provider"`
+	// FlowVerdicts counts finalized flows by terminal verdict (classified,
+	// abstained, no-handshake, …) — the decision-quality taxonomy.
+	FlowVerdicts map[string]uint64 `json:"flow_verdicts,omitempty"`
+
+	// Events summarizes the ops event journal; the events themselves are
+	// served by GET /events.
+	Events obs.JournalStats `json:"events"`
 
 	Rollup struct {
 		WindowSeconds float64 `json:"window_seconds"`
@@ -692,6 +765,8 @@ func (s *Server) Snapshot() Stats {
 	st.ClassifiedFlows = s.classified.Load()
 	st.UnknownFlows = s.unknown.Load()
 	st.FinalizedFlows = s.finalized.Load()
+	st.FlowVerdicts = s.verdictCounts()
+	st.Events = s.journal.Stats()
 	st.Rollup.WindowSeconds = s.rollup.Width().Seconds()
 	st.Rollup.Sealed = s.rollup.Sealed()
 	if err := s.rollup.Err(); err != nil {
@@ -856,6 +931,8 @@ func (s *Server) handleModelsPromote(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	s.journal.Record(obs.EventModelPromote, "operator promoted bank version",
+		"version", v.Manifest.ID)
 	writeJSON(w, v.Manifest)
 }
 
@@ -869,6 +946,8 @@ func (s *Server) handleModelsRollback(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	s.journal.Record(obs.EventModelRollback, "operator rolled back to prior bank version",
+		"version", v.Manifest.ID)
 	writeJSON(w, v.Manifest)
 }
 

@@ -58,6 +58,30 @@ type QueryPoint struct {
 	LatencyP99Ms  float64 `json:"latency_p99_ms,omitempty"`
 	LatencyMaxMs  float64 `json:"latency_max_ms,omitempty"`
 	LatencyMeanMs float64 `json:"latency_mean_ms,omitempty"`
+
+	// AbstainedFlows counts confidence-rejected classification attempts in
+	// the bucket; AbstainRate is abstained / (classified + abstained) — the
+	// share of attempts the open-set selector rejected. Available for total,
+	// provider and platform series.
+	AbstainedFlows int     `json:"abstained_flows,omitempty"`
+	AbstainRate    float64 `json:"abstain_rate,omitempty"`
+	// Confidence quantiles/mean digest the bucket's merged confidence
+	// histogram over classification attempts. Quantiles are histogram-bucket
+	// upper bounds (resolution 1/NumConfidenceBuckets) and therefore exact
+	// across downsampling and re-aggregation. Available for total, provider
+	// and platform series.
+	ConfidenceCount uint64  `json:"confidence_count,omitempty"`
+	ConfidenceP10   float64 `json:"confidence_p10,omitempty"`
+	ConfidenceP50   float64 `json:"confidence_p50,omitempty"`
+	ConfidenceMean  float64 `json:"confidence_mean,omitempty"`
+
+	// Verdicts, DriftScore and the shadow counters surface the bucket's
+	// merged QualitySummary (total series only — the summary is
+	// window-scoped, not per-cell).
+	Verdicts        map[string]uint64 `json:"verdicts,omitempty"`
+	DriftScore      float64           `json:"drift_score,omitempty"`
+	ShadowAgreed    uint64            `json:"shadow_agreed,omitempty"`
+	ShadowDisagreed uint64            `json:"shadow_disagreed,omitempty"`
 }
 
 // QuerySeries is one group's time series, points in ascending Start order.
@@ -205,6 +229,7 @@ func (s *Store) Query(since, until time.Time, step time.Duration, groupBy string
 			p.ClassifiedFlows = b.agg.ClassifiedFlows
 			p.LateFlows = b.agg.LateFlows
 			p.fromLatency(b.agg.Latency)
+			p.fromQuality(b.agg.Quality)
 			appendPoint("total", p)
 		case GroupProvider:
 			for key, c := range b.agg.ByProvider {
@@ -262,6 +287,34 @@ func (p *QueryPoint) fromCell(c *Cell) {
 	p.BytesUp = c.BytesUp
 	p.MeanMbpsDown = c.MeanMbpsDown
 	p.PeakMbpsDown = c.PeakMbpsDown
+	p.AbstainedFlows = c.AbstainedFlows
+	if att := c.ClassifiedFlows + c.AbstainedFlows; att > 0 {
+		p.AbstainRate = float64(c.AbstainedFlows) / float64(att)
+	}
+	if c.Confidence != nil && c.Confidence.Count > 0 {
+		p.ConfidenceCount = c.Confidence.Count
+		p.ConfidenceP10 = c.Confidence.Quantile(0.10)
+		p.ConfidenceP50 = c.Confidence.Quantile(0.50)
+		p.ConfidenceMean = c.Confidence.Mean()
+	}
+}
+
+// fromQuality surfaces a merged window-level quality summary into the point
+// (verdict counts, drift gauge, shadow counters). The per-cell confidence
+// fields are filled by fromCell; a nil summary leaves everything zero.
+func (p *QueryPoint) fromQuality(q *QualitySummary) {
+	if q == nil {
+		return
+	}
+	if len(q.Verdicts) > 0 {
+		p.Verdicts = make(map[string]uint64, len(q.Verdicts))
+		for k, v := range q.Verdicts {
+			p.Verdicts[k] = v
+		}
+	}
+	p.DriftScore = q.DriftScore
+	p.ShadowAgreed = q.ShadowAgreed
+	p.ShadowDisagreed = q.ShadowDisagreed
 }
 
 // pickTier selects the tier serving a query: the finest with resolution at

@@ -15,22 +15,38 @@ import (
 // Cell aggregates the flows of one rollup dimension value (a provider or a
 // predicted platform) within one window.
 type Cell struct {
-	Flows           int     `json:"flows"`
-	ClassifiedFlows int     `json:"classified_flows"`
-	WatchSeconds    float64 `json:"watch_seconds"`
-	BytesDown       int64   `json:"bytes_down"`
-	BytesUp         int64   `json:"bytes_up"`
+	Flows           int `json:"flows"`
+	ClassifiedFlows int `json:"classified_flows"`
+	// AbstainedFlows counts flows the classifier ran on but rejected below
+	// the confidence threshold (§4.1 open-set abstention), so per-provider
+	// abstain rates survive re-aggregation: rate = abstained / (classified +
+	// abstained).
+	AbstainedFlows int     `json:"abstained_flows,omitempty"`
+	WatchSeconds   float64 `json:"watch_seconds"`
+	BytesDown      int64   `json:"bytes_down"`
+	BytesUp        int64   `json:"bytes_up"`
 	// MeanMbpsDown is the mean downstream bandwidth over the cell's watch
 	// time; filled when the window is sealed.
 	MeanMbpsDown float64 `json:"mean_mbps_down"`
 	// PeakMbpsDown is the highest per-flow mean bandwidth seen.
 	PeakMbpsDown float64 `json:"peak_mbps_down"`
+	// Confidence digests the platform-model top probability of this cell's
+	// classification attempts; nil when the classifier never ran here.
+	Confidence *ConfidenceHist `json:"confidence,omitempty"`
 }
 
 func (c *Cell) add(rec *pipeline.FlowRecord) {
 	c.Flows++
-	if rec.Classified && rec.Prediction.Status != pipeline.Unknown {
-		c.ClassifiedFlows++
+	if rec.Classified {
+		if rec.Prediction.Status != pipeline.Unknown {
+			c.ClassifiedFlows++
+		} else {
+			c.AbstainedFlows++
+		}
+		if c.Confidence == nil {
+			c.Confidence = &ConfidenceHist{}
+		}
+		c.Confidence.Observe(rec.Prediction.PlatformConf)
 	}
 	c.WatchSeconds += rec.Duration().Seconds()
 	c.BytesDown += rec.BytesDown
@@ -52,6 +68,13 @@ func (c *Cell) seal() {
 func (c *Cell) Merge(src *Cell) {
 	c.Flows += src.Flows
 	c.ClassifiedFlows += src.ClassifiedFlows
+	c.AbstainedFlows += src.AbstainedFlows
+	if src.Confidence != nil {
+		if c.Confidence == nil {
+			c.Confidence = &ConfidenceHist{}
+		}
+		c.Confidence.Merge(src.Confidence)
+	}
 	c.WatchSeconds += src.WatchSeconds
 	c.BytesDown += src.BytesDown
 	c.BytesUp += src.BytesUp
@@ -93,6 +116,11 @@ type Window struct {
 	// window would have; nil when no timed classification landed (e.g. the
 	// pipeline ran without an observer).
 	Latency *obs.Summary `json:"latency,omitempty"`
+
+	// Quality digests decision quality: verdict counts, confidence/margin
+	// histograms, drift score and shadow agreement. Non-nil for any window
+	// with at least one flow.
+	Quality *QualitySummary `json:"quality,omitempty"`
 }
 
 func (w *Window) add(rec *pipeline.FlowRecord) {
@@ -140,6 +168,11 @@ func (w *Window) add(rec *pipeline.FlowRecord) {
 		}
 		w.Latency.Observe(time.Duration(rec.ClassifyNanos))
 	}
+
+	if w.Quality == nil {
+		w.Quality = &QualitySummary{}
+	}
+	w.Quality.add(rec)
 }
 
 func (w *Window) seal() {
@@ -166,6 +199,7 @@ func (w *Window) Clone() *Window {
 		}
 	}
 	snap.Latency = w.Latency.Clone()
+	snap.Quality = w.Quality.Clone()
 	return &snap
 }
 
@@ -204,6 +238,12 @@ func (w *Window) Merge(src *Window) {
 			w.Latency = &obs.Summary{}
 		}
 		w.Latency.Merge(src.Latency)
+	}
+	if src.Quality != nil {
+		if w.Quality == nil {
+			w.Quality = &QualitySummary{}
+		}
+		w.Quality.Merge(src.Quality)
 	}
 }
 
@@ -293,6 +333,7 @@ type Rollup struct {
 	mu       sync.Mutex
 	width    time.Duration
 	sink     Sink
+	enrich   func(*Window)
 	cur      *Window
 	sealed   int
 	sinkErr  error  // first failure, kept verbatim for /stats
@@ -311,6 +352,18 @@ func NewRollup(width time.Duration, sink Sink) *Rollup {
 
 // Width returns the tumbling window width.
 func (r *Rollup) Width() time.Duration { return r.width }
+
+// SetEnrich installs a hook invoked with each window at seal time, just
+// before the window is finalized and offered to the sink — the seam where
+// the server stamps window-scoped gauges that no flow record carries (drift
+// score, shadow agreement deltas). The hook runs with the rollup lock held:
+// it must not call back into the Rollup (deadlock) and should be cheap.
+// Call before the first Add; not synchronized against concurrent Adds.
+func (r *Rollup) SetEnrich(fn func(*Window)) {
+	r.mu.Lock()
+	r.enrich = fn
+	r.mu.Unlock()
+}
 
 // Add folds one finalized flow record into the rollup, sealing the current
 // window first if rec.LastSeen has moved past its end. Records older than
@@ -385,6 +438,7 @@ func (r *Rollup) Current() *Window {
 		}
 	}
 	snap.Latency = r.cur.Latency.Clone()
+	snap.Quality = r.cur.Quality.Clone()
 	snap.seal()
 	return &snap
 }
@@ -393,6 +447,7 @@ func cloneCells(m map[string]*Cell) map[string]*Cell {
 	out := make(map[string]*Cell, len(m))
 	for k, c := range m {
 		cc := *c
+		cc.Confidence = c.Confidence.Clone()
 		out[k] = &cc
 	}
 	return out
@@ -414,6 +469,9 @@ func (r *Rollup) open(ts time.Time) {
 // seal finalizes cur and hands it to the sink; callers must hold mu and
 // replace cur afterwards.
 func (r *Rollup) seal() {
+	if r.enrich != nil {
+		r.enrich(r.cur)
+	}
 	r.cur.seal()
 	r.sealed++
 	if r.sink != nil {

@@ -39,8 +39,8 @@
 //   - NewServer assembles it all into a streaming ingest daemon that
 //     replays capture files or synthetic traffic through the sharded
 //     pipeline at a configurable packet rate and serves live operations
-//     endpoints (/stats, /flows, /windows, /query, /healthz, /metrics)
-//     with graceful shutdown.
+//     endpoints (/stats, /flows, /windows, /query, /events, /healthz,
+//     /readyz, /metrics) with graceful shutdown.
 //
 // The §5.3 concept-drift story is closed by the model lifecycle subsystem,
 // which evolves the classifier bank under live traffic:
@@ -84,6 +84,7 @@ package videoplat
 
 import (
 	"io"
+	"log/slog"
 	"time"
 
 	"videoplat/internal/drift"
@@ -228,6 +229,27 @@ type (
 	RuntimeStats = obs.RuntimeStats
 	// BuildInfo identifies the running binary.
 	BuildInfo = obs.BuildInfo
+
+	// Verdict is a flow's decision outcome: how (or why not) the pipeline
+	// classified it. Every finalized FlowRecord carries one.
+	Verdict = pipeline.Verdict
+	// ConfidenceHist is a mergeable fixed-width histogram over [0, 1]
+	// probabilities; quantiles stay exact under any merge order.
+	ConfidenceHist = telemetry.ConfidenceHist
+	// QualitySummary is a rollup window's decision-quality digest: verdict
+	// counts, confidence/margin histograms, drift score and shadow
+	// agreement — every field merges exactly across downsampling.
+	QualitySummary = telemetry.QualitySummary
+	// OpsEventType classifies an ops journal entry (model_promote,
+	// drift_trigger, shadow_verdict, ...).
+	OpsEventType = obs.EventType
+	// OpsEvent is one typed, timestamped ops journal entry.
+	OpsEvent = obs.Event
+	// OpsJournal is a bounded ring of typed ops events with slog mirroring
+	// (GET /events); pass one via ServeConfig.Journal.
+	OpsJournal = obs.Journal
+	// OpsJournalStats summarizes a journal's counters.
+	OpsJournalStats = obs.JournalStats
 )
 
 // Providers.
@@ -257,6 +279,33 @@ const (
 	GroupProvider = telemetry.GroupProvider
 	GroupPlatform = telemetry.GroupPlatform
 	GroupModel    = telemetry.GroupModel
+)
+
+// Flow decision verdicts.
+const (
+	VerdictPending      = pipeline.VerdictPending
+	VerdictClassified   = pipeline.VerdictClassified
+	VerdictAbstained    = pipeline.VerdictAbstained
+	VerdictBaselineOnly = pipeline.VerdictBaselineOnly
+	VerdictNoHandshake  = pipeline.VerdictNoHandshake
+	VerdictOversized    = pipeline.VerdictOversized
+	VerdictNotVideo     = pipeline.VerdictNotVideo
+	VerdictError        = pipeline.VerdictError
+)
+
+// Ops journal event types (the GET /events vocabulary).
+const (
+	EventModelPromote     = obs.EventModelPromote
+	EventModelRollback    = obs.EventModelRollback
+	EventModelSwap        = obs.EventModelSwap
+	EventDriftTrigger     = obs.EventDriftTrigger
+	EventDriftRearm       = obs.EventDriftRearm
+	EventShadowStart      = obs.EventShadowStart
+	EventShadowVerdict    = obs.EventShadowVerdict
+	EventRetrainError     = obs.EventRetrainError
+	EventEvictionPressure = obs.EventEvictionPressure
+	EventSinkError        = obs.EventSinkError
+	EventStoreCompaction  = obs.EventStoreCompaction
 )
 
 // Platforms lists the 17 user-platform labels of Table 1
@@ -335,7 +384,8 @@ func MultiSink(sinks ...RollupSink) RollupSink { return telemetry.MultiSink(sink
 
 // NewServer assembles the streaming ingest daemon: src replayed through a
 // sharded, flow-table-bounded pipeline, with windowed rollups and the
-// /stats, /flows, /healthz and /metrics operations API. Start it with Run.
+// /stats, /flows, /events, /healthz, /readyz and /metrics operations API.
+// Start it with Run.
 func NewServer(bank *Bank, src ReplaySource, cfg ServeConfig) (*Server, error) {
 	return server.New(bank, src, cfg)
 }
@@ -385,3 +435,16 @@ func NewFlowTracer(cfg FlowTracerConfig) *FlowTracer { return obs.NewTracer(cfg)
 
 // ReadRuntimeStats snapshots the Go runtime's health gauges.
 func ReadRuntimeStats() RuntimeStats { return obs.ReadRuntimeStats() }
+
+// NewOpsJournal returns a bounded ops event journal (capacity <= 0 selects
+// the default). A non-nil logger mirrors every event as a structured slog
+// line. Wire it to a daemon via ServeConfig.Journal and, for the retrain
+// lifecycle, RetrainerConfig.Events; the Server serves it over GET /events.
+func NewOpsJournal(capacity int, logger *slog.Logger) *OpsJournal {
+	return obs.NewJournal(capacity, logger)
+}
+
+// ReadBuildInfo reports the running binary's build identification (module,
+// Go version, VCS revision) — what vpserve -version prints and /stats and
+// videoplat_build_info expose.
+func ReadBuildInfo() BuildInfo { return obs.ReadBuildInfo() }
