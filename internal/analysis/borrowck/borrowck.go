@@ -1,0 +1,313 @@
+// Package borrowck enforces the pipeline's aliasing contract: a parameter
+// annotated //vp:borrowed is only valid for the duration of the call. The
+// arena frames handed to batch callbacks and the *features.HandshakeInfo
+// passed to OnClassify hooks are recycled the moment the callback returns,
+// so any store that could outlive the call is a use-after-recycle bug even
+// though the race detector and unit tests will rarely catch it.
+//
+// For each annotated parameter (and every local variable directly aliased
+// from it) the analyzer rejects:
+//
+//   - stores to struct fields, map/slice elements, or package-level
+//     variables
+//   - sends on channels
+//   - returning the borrowed pointer
+//   - placing it in a composite literal or appending it to a slice
+//   - passing it to a goroutine
+//   - capture by a closure that is not immediately invoked
+//
+// One append form is exempt: spread-appending a borrowed slice whose element
+// type is pointer-free (append(dst, data...) with data []byte) copies the
+// contents without retaining the slice header — the arena-packing idiom.
+//
+// Passing a borrowed pointer onward as a plain call argument stays legal:
+// that is re-lending under the same contract, which is exactly how
+// Shadow.Observe hands the handshake to the candidate bank.
+package borrowck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"videoplat/internal/analysis/vpdirective"
+)
+
+// Analyzer is the borrowck pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "borrowck",
+	Doc:      "check that //vp:borrowed parameters do not escape the call",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		dir := vpdirective.ForFunc(fd)
+		if len(dir.Borrowed) == 0 || fd.Body == nil {
+			return
+		}
+		checkFunc(pass, fd, dir)
+	})
+	return nil, nil
+}
+
+// checkFunc verifies one annotated function.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, dir vpdirective.Func) {
+	// Resolve the named parameters to their objects.
+	params := map[string]types.Object{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					params[name.Name] = obj
+				}
+			}
+		}
+	}
+	borrowed := map[types.Object]string{} // object -> annotated root param name
+	for _, name := range dir.Borrowed {
+		obj, ok := params[name]
+		if !ok {
+			pass.Reportf(dir.BorrowedPos, "//vp:borrowed names %q, which is not a parameter of %s", name, fd.Name.Name)
+			continue
+		}
+		borrowed[obj] = name
+	}
+	if len(borrowed) == 0 {
+		return
+	}
+
+	// Propagate the borrow through direct local aliases (x := p, x = p,
+	// var x = p) to a fixed point, so `info := hs; s.saved = info` is still
+	// caught. Only whole-pointer aliases taint; copying the pointee
+	// (rec := *hs) is explicitly legal.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				if len(st.Lhs) != len(st.Rhs) {
+					return true
+				}
+				for i, rhs := range st.Rhs {
+					root, ok := borrowedIdent(pass, borrowed, rhs)
+					if !ok {
+						continue
+					}
+					lhs, ok := st.Lhs[i].(*ast.Ident)
+					if !ok || lhs.Name == "_" {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[lhs]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[lhs]
+					}
+					if obj != nil && borrowed[obj] == "" && isLocalVar(obj) {
+						borrowed[obj] = root
+						changed = true
+					}
+				}
+			case *ast.ValueSpec:
+				for i, rhs := range st.Values {
+					root, ok := borrowedIdent(pass, borrowed, rhs)
+					if !ok || i >= len(st.Names) {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[st.Names[i]]
+					if obj != nil && borrowed[obj] == "" {
+						borrowed[obj] = root
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	report := func(pos ast.Node, root, what string) {
+		pass.Reportf(pos.Pos(), "%s: parameter %q is //vp:borrowed and must not outlive the call", what, root)
+	}
+
+	// enclosing tracks the closure nesting while walking, so goroutine and
+	// closure rules see context. We do a manual recursive walk to know each
+	// node's parent.
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range st.Rhs {
+				root, ok := borrowedIdent(pass, borrowed, rhs)
+				if !ok {
+					continue
+				}
+				if i >= len(st.Lhs) {
+					continue
+				}
+				switch lhs := st.Lhs[i].(type) {
+				case *ast.Ident:
+					obj := pass.TypesInfo.Defs[lhs]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[lhs]
+					}
+					if obj != nil && !isLocalVar(obj) {
+						report(st, root, fmt.Sprintf("stored to package-level variable %s", lhs.Name))
+					}
+				case *ast.SelectorExpr:
+					report(st, root, fmt.Sprintf("stored to field %s", types.ExprString(lhs)))
+				case *ast.IndexExpr:
+					report(st, root, fmt.Sprintf("stored to element %s", types.ExprString(lhs)))
+				case *ast.StarExpr:
+					report(st, root, fmt.Sprintf("stored through pointer %s", types.ExprString(lhs)))
+				}
+			}
+		case *ast.SendStmt:
+			if root, ok := borrowedIdent(pass, borrowed, st.Value); ok {
+				report(st, root, "sent on a channel")
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if root, ok := borrowedIdent(pass, borrowed, res); ok {
+					report(res, root, "returned")
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range st.Elts {
+				e := elt
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if root, ok := borrowedIdent(pass, borrowed, e); ok {
+					report(elt, root, "placed in a composite literal")
+				}
+			}
+		case *ast.GoStmt:
+			ast.Inspect(st.Call, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					if root, ok := borrowedIdent(pass, borrowed, e); ok {
+						report(n, root, "passed to a goroutine")
+						return false
+					}
+				}
+				return true
+			})
+			return // the inner call is fully handled above
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "append" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("append") {
+				for i, arg := range st.Args[1:] {
+					root, ok := borrowedIdent(pass, borrowed, arg)
+					if !ok {
+						continue
+					}
+					if i == len(st.Args)-2 && st.Ellipsis.IsValid() && pointerFreeSlice(pass.TypesInfo.TypeOf(arg)) {
+						continue // spread of a pointer-free slice copies contents, not the header
+					}
+					report(arg, root, "appended to a slice")
+				}
+			}
+			// An immediately-invoked closure body is part of this call
+			// frame: walk it under the normal rules rather than the
+			// capture rule.
+			if fl, ok := st.Fun.(*ast.FuncLit); ok {
+				for _, arg := range st.Args {
+					walk(arg)
+				}
+				walk(fl.Body)
+				return
+			}
+		case *ast.FuncLit:
+			// Any other closure mentioning a borrowed pointer may escape
+			// (stored, returned, passed to an API that retains it): flag
+			// the capture itself.
+			captured := ""
+			ast.Inspect(st.Body, func(n ast.Node) bool {
+				if e, ok := n.(ast.Expr); ok {
+					if root, ok := borrowedIdent(pass, borrowed, e); ok {
+						captured = root
+						return false
+					}
+				}
+				return true
+			})
+			if captured != "" {
+				report(st, captured, "captured by a closure that may outlive the call")
+			}
+			return // don't double-report stores inside the closure
+		}
+		walkChildren(n, walk)
+	}
+	walkChildren(fd.Body, walk)
+}
+
+// walkChildren applies walk to each direct child of n.
+func walkChildren(n ast.Node, walk func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			walk(c)
+		}
+		return false
+	})
+}
+
+// borrowedIdent reports whether expr is (after stripping parens) an
+// identifier bound to a borrowed object, returning the annotated root
+// parameter's name.
+func borrowedIdent(pass *analysis.Pass, borrowed map[types.Object]string, expr ast.Expr) (string, bool) {
+	for {
+		if p, ok := expr.(*ast.ParenExpr); ok {
+			expr = p.X
+			continue
+		}
+		break
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return "", false
+	}
+	root, ok := borrowed[obj]
+	return root, ok
+}
+
+// pointerFreeSlice reports whether t is a slice (or string) whose element
+// type carries no pointers, so spreading it into append copies values the
+// borrowed backing array can be recycled behind.
+func pointerFreeSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		switch e := u.Elem().Underlying().(type) {
+		case *types.Basic:
+			// Strings are excluded: a string header points into backing
+			// bytes that may live in the borrowed arena.
+			return e.Info()&(types.IsBoolean|types.IsNumeric) != 0
+		}
+	}
+	return false
+}
+
+// isLocalVar reports whether obj is a function-scoped variable (as opposed
+// to a package-level one).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	return v.Parent() == nil || v.Parent() != v.Pkg().Scope()
+}

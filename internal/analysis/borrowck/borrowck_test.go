@@ -1,0 +1,12 @@
+package borrowck_test
+
+import (
+	"testing"
+
+	"videoplat/internal/analysis/borrowck"
+	"videoplat/internal/analysis/vptest"
+)
+
+func TestBorrowck(t *testing.T) {
+	vptest.Run(t, "testdata", borrowck.Analyzer, "borrow")
+}

@@ -1,0 +1,129 @@
+// Package borrow exercises the borrowck analyzer: Handshake stands in for
+// features.HandshakeInfo, whose pointer is only valid for the duration of
+// an OnClassify-style callback.
+package borrow
+
+// Handshake is the borrowed payload type.
+type Handshake struct {
+	SNI string
+	Raw []byte
+}
+
+// Sink models a struct that could illegally retain the borrow.
+type Sink struct {
+	last    *Handshake
+	history []*Handshake
+	byName  map[string]*Handshake
+	ch      chan *Handshake
+	hook    func()
+}
+
+var global *Handshake
+
+// StoreField illegally stores the borrowed pointer in a field.
+//
+//vp:borrowed hs
+func (s *Sink) StoreField(hs *Handshake) {
+	s.last = hs // want `stored to field s\.last: parameter "hs" is //vp:borrowed`
+}
+
+// StoreGlobal illegally stores the borrowed pointer in a package variable.
+//
+//vp:borrowed hs
+func StoreGlobal(hs *Handshake) {
+	global = hs // want `stored to package-level variable global: parameter "hs" is //vp:borrowed`
+}
+
+// StoreViaAlias launders the borrow through a local alias first.
+//
+//vp:borrowed hs
+func (s *Sink) StoreViaAlias(hs *Handshake) {
+	alias := hs
+	s.last = alias // want `stored to field s\.last: parameter "hs" is //vp:borrowed`
+}
+
+// StoreElement illegally stores into a map element.
+//
+//vp:borrowed hs
+func (s *Sink) StoreElement(hs *Handshake) {
+	s.byName[hs.SNI] = hs // want `stored to element s\.byName\[hs\.SNI\]: parameter "hs" is //vp:borrowed`
+}
+
+// Send illegally ships the borrow across a channel.
+//
+//vp:borrowed hs
+func (s *Sink) Send(hs *Handshake) {
+	s.ch <- hs // want `sent on a channel: parameter "hs" is //vp:borrowed`
+}
+
+// Return illegally returns the borrow to a caller that may retain it.
+//
+//vp:borrowed hs
+func Return(hs *Handshake) *Handshake {
+	return hs // want `returned: parameter "hs" is //vp:borrowed`
+}
+
+// AppendTo illegally appends the borrow to a slice.
+//
+//vp:borrowed hs
+func (s *Sink) AppendTo(hs *Handshake) {
+	s.history = append(s.history, hs) // want `appended to a slice: parameter "hs" is //vp:borrowed`
+}
+
+// Compose illegally embeds the borrow in a composite literal.
+//
+//vp:borrowed hs
+func Compose(hs *Handshake) {
+	pair := []*Handshake{hs, nil} // want `placed in a composite literal: parameter "hs" is //vp:borrowed`
+	_ = pair
+}
+
+// CaptureEscaping illegally captures the borrow in a closure stored past
+// the call.
+//
+//vp:borrowed hs
+func (s *Sink) CaptureEscaping(hs *Handshake) {
+	s.hook = func() { // want `captured by a closure that may outlive the call: parameter "hs" is //vp:borrowed`
+		_ = hs.SNI
+	}
+}
+
+// Spawn illegally hands the borrow to a goroutine.
+//
+//vp:borrowed hs
+func Spawn(hs *Handshake) {
+	go consume(hs) // want `passed to a goroutine: parameter "hs" is //vp:borrowed`
+}
+
+func consume(hs *Handshake) { _ = hs }
+
+// AppendSpreadPtrs spreads a borrowed pointer-slice: the pointers are
+// retained, so the exemption for pointer-free elements does not apply.
+//
+//vp:borrowed batch
+func (s *Sink) AppendSpreadPtrs(batch []*Handshake) {
+	s.history = append(s.history, batch...) // want `appended to a slice: parameter "batch" is //vp:borrowed`
+}
+
+// PackArena spread-appends borrowed bytes: a contents copy, which the
+// arena-recycling contract explicitly allows.
+//
+//vp:borrowed data
+func (s *Sink) PackArena(arena []byte, data []byte) []byte {
+	arena = append(arena, data...) // legal: copies bytes, not the header
+	return arena
+}
+
+// Legal is the contract-respecting shape: read fields, copy the pointee,
+// re-lend to a callee, and use an immediately-invoked closure.
+//
+//vp:borrowed hs
+func (s *Sink) Legal(hs *Handshake) string {
+	copyOf := *hs // copying the pointee is fine; only the pointer is borrowed
+	consume(hs)   // re-lending under the same contract is fine
+	name := func() string { return hs.SNI }()
+	if len(hs.Raw) > 0 {
+		return copyOf.SNI + name
+	}
+	return name
+}

@@ -1,0 +1,476 @@
+// Package hotpath statically enforces the zero-allocation contract on
+// functions annotated //vp:hotpath: neither the function nor anything it
+// statically calls within this module may contain an allocating construct.
+// The runtime ground truth is the AllocsPerRun pins (TestRecordZeroAlloc,
+// TestQualityFoldZeroAlloc, TestClassifyHandshakeZeroAlloc, ...); this
+// analyzer is the merge-time tripwire that fires before a benchmark has to.
+//
+// Flagged constructs:
+//
+//   - slice and map composite literals, &T{...}, make, new
+//   - append whose destination is not the slice being grown in place
+//     (x = append(x, ...) and x = append(x[:0], ...) are the legal
+//     warm-scratch patterns; anything else may allocate a fresh backing
+//     array on every call)
+//   - string concatenation, string<->[]byte/[]rune conversions
+//   - conversions of non-pointer concrete values to interface types
+//   - function literals (closures) and go statements
+//   - calls into fmt and the allocating parts of strings/strconv
+//   - calls to module functions whose own (transitive) analysis found any
+//     of the above, propagated across packages via analysis facts
+//
+// Amortized or cold allocation sites that the runtime pins have already
+// blessed are waived line-by-line with //vp:allocok <reason> — the waiver
+// forces the amortization argument into the source where reviewers see it.
+// A waiver on a call line also blesses the callee's transitive allocations
+// (needed when the allocating site lives in the standard library, which
+// cannot carry annotations — e.g. an amortized strconv.AppendUint).
+//
+// Known soft spots, by design: dynamic dispatch (interface method calls and
+// func values) is not followed, map growth on insert is treated as
+// amortized, and sync.Pool.Get's New path is trusted. The AllocsPerRun pins
+// remain authoritative for those.
+package hotpath
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"videoplat/internal/analysis/vpdirective"
+)
+
+// Analyzer is the hotpath pass.
+var Analyzer = &analysis.Analyzer{
+	Name:      "hotpath",
+	Doc:       "check that //vp:hotpath functions and their module callees do not allocate",
+	Requires:  []*analysis.Analyzer{inspect.Analyzer},
+	FactTypes: []analysis.Fact{(*allocFact)(nil)},
+	Run:       run,
+}
+
+// allocFact records, for one function, the formatted transitive allocation
+// sites its body can reach (capped at factSiteCap). Exported for every
+// function that has any, so downstream packages can hold their own hot-path
+// roots to account for what they call here.
+type allocFact struct {
+	Sites []string
+}
+
+func (*allocFact) AFact() {}
+
+func (f *allocFact) String() string { return "allocates(" + strings.Join(f.Sites, "; ") + ")" }
+
+// factSiteCap bounds the exemplar sites carried per function fact.
+const factSiteCap = 3
+
+// maxEdgeDepth caps chain expansion through local call graphs (defensive;
+// real chains are short).
+const maxEdgeDepth = 32
+
+type ownSite struct {
+	pos token.Pos
+	msg string
+}
+
+type callEdge struct {
+	pos    token.Pos
+	callee *types.Func
+}
+
+type funcInfo struct {
+	fn    *types.Func
+	hot   bool
+	own   []ownSite
+	edges []callEdge
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	waivers := map[*ast.File]map[int]bool{}
+	for _, f := range pass.Files {
+		waivers[f] = vpdirective.AllocWaivers(pass.Fset, f)
+	}
+	fileOf := func(pos token.Pos) *ast.File {
+		for _, f := range pass.Files {
+			if f.FileStart <= pos && pos < f.FileEnd {
+				return f
+			}
+		}
+		return nil
+	}
+
+	infos := map[*types.Func]*funcInfo{}
+	var order []*funcInfo
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil || fd.Body == nil {
+			return
+		}
+		info := &funcInfo{fn: fn, hot: vpdirective.ForFunc(fd).Hotpath}
+		w := waivers[fileOf(fd.Pos())]
+		collectBody(pass, fd.Body, w, info)
+		infos[fn] = info
+		order = append(order, info)
+	})
+
+	// summarize computes a function's transitive allocation exemplars
+	// (formatted strings with positions), memoized, cycle-safe.
+	summaries := map[*types.Func][]string{}
+	visiting := map[*types.Func]bool{}
+	var summarize func(fn *types.Func, depth int) []string
+	summarize = func(fn *types.Func, depth int) []string {
+		if s, ok := summaries[fn]; ok {
+			return s
+		}
+		if visiting[fn] || depth > maxEdgeDepth {
+			return nil
+		}
+		info, ok := infos[fn]
+		if !ok {
+			// Not declared in this package: a module package's fact, a
+			// denylisted stdlib call (handled at the edge), or trusted.
+			var imported allocFact
+			if fn.Pkg() != nil && pass.ImportObjectFact(fn, &imported) {
+				summaries[fn] = imported.Sites
+				return imported.Sites
+			}
+			if msg, bad := stdlibAllocates(fn); bad {
+				s := []string{msg}
+				summaries[fn] = s
+				return s
+			}
+			summaries[fn] = nil
+			return nil
+		}
+		visiting[fn] = true
+		defer delete(visiting, fn)
+		var sites []string
+		for _, s := range info.own {
+			if len(sites) >= factSiteCap {
+				break
+			}
+			sites = append(sites, fmt.Sprintf("%s: %s", pass.Fset.Position(s.pos), s.msg))
+		}
+		for _, e := range info.edges {
+			if len(sites) >= factSiteCap {
+				break
+			}
+			if callee := summarize(e.callee, depth+1); len(callee) > 0 {
+				sites = append(sites, fmt.Sprintf("%s: call to %s reaches %s",
+					pass.Fset.Position(e.pos), e.callee.FullName(), callee[0]))
+			}
+		}
+		summaries[fn] = sites
+		return sites
+	}
+
+	for _, info := range order {
+		sites := summarize(info.fn, 0)
+		if len(sites) > 0 {
+			pass.ExportObjectFact(info.fn, &allocFact{Sites: sites})
+		}
+		if !info.hot {
+			continue
+		}
+		for _, s := range info.own {
+			pass.Reportf(s.pos, "//vp:hotpath function %s: %s", info.fn.Name(), s.msg)
+		}
+		for _, e := range info.edges {
+			if callee := summarize(e.callee, 0); len(callee) > 0 {
+				pass.Reportf(e.pos, "//vp:hotpath function %s calls %s, which reaches an allocating construct: %s",
+					info.fn.Name(), e.callee.FullName(), callee[0])
+			}
+		}
+	}
+	return nil, nil
+}
+
+// collectBody walks one function body, recording allocating constructs and
+// static call edges. Closure bodies are not descended into — the closure
+// itself is the allocation.
+func collectBody(pass *analysis.Pass, body *ast.BlockStmt, waivers map[int]bool, info *funcInfo) {
+	waived := func(pos token.Pos) bool {
+		return vpdirective.Waived(waivers, pass.Fset, pos)
+	}
+	flag := func(pos token.Pos, msg string) {
+		if waived(pos) {
+			return
+		}
+		info.own = append(info.own, ownSite{pos, msg})
+	}
+
+	// Pre-pass: mark append calls that grow their own destination in place
+	// (x = append(x, ...), x = append(x[:0], ...)) — the legal warm-scratch
+	// pattern.
+	selfAppend := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass, call.Fun, "append") || len(call.Args) == 0 {
+				continue
+			}
+			if types.ExprString(as.Lhs[i]) == types.ExprString(sliceBase(call.Args[0])) {
+				selfAppend[call] = true
+			}
+		}
+		return true
+	})
+
+	handledLits := map[*ast.CompositeLit]bool{}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			flag(e.Pos(), "function literal allocates a closure")
+			return false // body belongs to the closure, not this frame
+		case *ast.GoStmt:
+			flag(e.Pos(), "go statement allocates a goroutine")
+			return true
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if lit, ok := e.X.(*ast.CompositeLit); ok {
+					handledLits[lit] = true
+					flag(e.Pos(), fmt.Sprintf("&%s composite literal allocates", types.ExprString(lit.Type)))
+				}
+			}
+		case *ast.CompositeLit:
+			if handledLits[e] {
+				return true
+			}
+			switch pass.TypesInfo.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				flag(e.Pos(), "slice literal allocates")
+			case *types.Map:
+				flag(e.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD {
+				if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value == nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						flag(e.Pos(), "string concatenation allocates")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			collectCall(pass, e, flag, waived, selfAppend, info)
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+}
+
+// collectCall classifies one call expression: builtin allocators,
+// conversions, static callees and implicit interface-boxing arguments. A
+// //vp:allocok waiver covering the call line suppresses the call edge too,
+// blessing the callee's transitive allocations along with the line's own.
+func collectCall(pass *analysis.Pass, call *ast.CallExpr, flag func(token.Pos, string), waived func(token.Pos) bool, selfAppend map[*ast.CallExpr]bool, info *funcInfo) {
+	// Conversions: T(x).
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		flagConversion(pass, call, tv.Type, flag)
+		return
+	}
+
+	switch {
+	case isBuiltin(pass, call.Fun, "make"):
+		flag(call.Pos(), "make allocates")
+		return
+	case isBuiltin(pass, call.Fun, "new"):
+		flag(call.Pos(), "new allocates")
+		return
+	case isBuiltin(pass, call.Fun, "append"):
+		if !selfAppend[call] {
+			flag(call.Pos(), "append to a destination other than the grown slice may allocate a new backing array")
+		}
+		return
+	}
+
+	fn := staticCallee(pass, call)
+	if fn == nil {
+		return // dynamic dispatch: interface method or func value
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		if msg, bad := stdlibAllocates(fn); bad {
+			flag(call.Pos(), msg)
+			return
+		}
+	}
+	if !waived(call.Pos()) {
+		info.edges = append(info.edges, callEdge{pos: call.Pos(), callee: fn})
+	}
+
+	// Implicit interface boxing: a non-pointer concrete argument passed to
+	// an interface parameter is heap-allocated by the conversion.
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if boxingAllocates(at) {
+			flag(arg.Pos(), fmt.Sprintf("passing %s by value to interface parameter boxes it on the heap", at))
+		}
+	}
+}
+
+// flagConversion flags allocating type conversions.
+func flagConversion(pass *analysis.Pass, call *ast.CallExpr, to types.Type, flag func(token.Pos, string)) {
+	from := pass.TypesInfo.TypeOf(call.Args[0])
+	if from == nil {
+		return
+	}
+	toU, fromU := to.Underlying(), from.Underlying()
+	if isString(toU) && isByteOrRuneSlice(fromU) {
+		flag(call.Pos(), "[]byte/[]rune to string conversion allocates")
+		return
+	}
+	if isByteOrRuneSlice(toU) && isString(fromU) {
+		flag(call.Pos(), "string to []byte/[]rune conversion allocates")
+		return
+	}
+	if types.IsInterface(toU) && !types.IsInterface(fromU) && boxingAllocates(from) {
+		flag(call.Pos(), fmt.Sprintf("conversion of %s to interface boxes it on the heap", from))
+	}
+}
+
+// boxingAllocates reports whether converting a value of concrete type t to
+// an interface heap-allocates: true for everything except pointers, maps,
+// channels, funcs and unsafe pointers (whose interface representation is the
+// word itself).
+func boxingAllocates(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isBuiltin reports whether fun is a use of the named universe builtin.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// sliceBase strips parens and slicing (x[a:b] -> x) so append(x[:0], ...)
+// matches destination x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// staticCallee resolves a call to a statically-known *types.Func, or nil
+// for dynamic calls (func values, interface methods).
+func staticCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // dynamic dispatch
+		}
+	}
+	return fn
+}
+
+// stdlibAllocates is the denylist of standard-library calls that always
+// allocate: all of fmt, plus the string-building parts of strings and
+// strconv. Everything else outside the module is trusted (the AllocsPerRun
+// pins are the ground truth there).
+func stdlibAllocates(fn *types.Func) (string, bool) {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "fmt":
+		return "call to fmt." + name + " allocates", true
+	case "strings":
+		switch name {
+		case "Join", "Repeat", "Replace", "ReplaceAll", "Split", "SplitN",
+			"SplitAfter", "SplitAfterN", "Fields", "FieldsFunc", "Map",
+			"ToLower", "ToUpper", "ToTitle", "Title", "Clone", "Concat":
+			return "call to strings." + name + " allocates", true
+		}
+	case "strconv":
+		switch name {
+		case "Itoa", "FormatInt", "FormatUint", "FormatFloat", "FormatBool",
+			"FormatComplex", "Quote", "QuoteToASCII", "QuoteRune", "Unquote":
+			return "call to strconv." + name + " allocates", true
+		}
+	case "sort":
+		switch name {
+		case "Slice", "SliceStable", "SliceIsSorted", "Sort", "Stable":
+			// sort.Slice boxes its arguments in interfaces internally.
+			return "call to sort." + name + " allocates", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"videoplat/internal/analysis/hotpath"
+	"videoplat/internal/analysis/vptest"
+)
+
+func TestHotpath(t *testing.T) {
+	// dep is listed first so its allocFacts are exported before the hot
+	// package asks for them — the same dependency order the unitchecker
+	// guarantees under go vet.
+	vptest.Run(t, "testdata", hotpath.Analyzer, "hot/dep", "hot")
+}

@@ -1,0 +1,19 @@
+// Package dep is the cross-package callee for the hotpath analyzer test:
+// it carries no //vp:hotpath annotation itself, so nothing here is reported
+// directly, but the analyzer exports allocFacts for its allocating
+// functions and the importing hot package is held to account at its call
+// sites.
+package dep
+
+// Grow allocates a fresh backing array on every call.
+func Grow() []int {
+	return make([]int, 16)
+}
+
+// Indirect reaches an allocation only through Grow.
+func Indirect() int {
+	return len(Grow())
+}
+
+// Fine performs no allocation at all.
+func Fine(x int) int { return x + 1 }

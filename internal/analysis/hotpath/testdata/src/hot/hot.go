@@ -1,0 +1,113 @@
+// Package hot exercises the hotpath analyzer: direct allocating constructs,
+// same-package and cross-package transitive callees, the self-append
+// warm-scratch exemption, and //vp:allocok waivers.
+package hot
+
+import (
+	"fmt"
+
+	"hot/dep"
+)
+
+// Stats is a plain value type used as an allocation target.
+type Stats struct{ n int }
+
+func sinkPtr(v interface{})  { _ = v }
+func sinkAny(v interface{})  { _ = v }
+func useBytes(b []byte) int  { return len(b) }
+func useString(s string) int { return len(s) }
+
+// DirectAllocs piles up one flagged construct per line.
+//
+//vp:hotpath
+func DirectAllocs(b []byte, name string) {
+	s := []int{1, 2, 3} // want `//vp:hotpath function DirectAllocs: slice literal allocates`
+	m := map[string]int{} // want `//vp:hotpath function DirectAllocs: map literal allocates`
+	p := &Stats{} // want `//vp:hotpath function DirectAllocs: &Stats composite literal allocates`
+	buf := make([]byte, 8) // want `//vp:hotpath function DirectAllocs: make allocates`
+	q := new(Stats) // want `//vp:hotpath function DirectAllocs: new allocates`
+	msg := name + "!" // want `//vp:hotpath function DirectAllocs: string concatenation allocates`
+	_ = useString(string(b)) // want `//vp:hotpath function DirectAllocs: \[\]byte/\[\]rune to string conversion allocates`
+	_ = useBytes([]byte(name)) // want `//vp:hotpath function DirectAllocs: string to \[\]byte/\[\]rune conversion allocates`
+	fmt.Println(name) // want `//vp:hotpath function DirectAllocs: call to fmt\.Println allocates`
+	f := func() {} // want `//vp:hotpath function DirectAllocs: function literal allocates a closure`
+	go dep.Fine(1) // want `//vp:hotpath function DirectAllocs: go statement allocates a goroutine`
+	sinkAny(len(s) + len(m) + p.n + len(buf) + q.n + len(msg)) // want `//vp:hotpath function DirectAllocs: passing int by value to interface parameter boxes it on the heap`
+	f()
+}
+
+// GrowForeign appends to a destination other than the slice being grown.
+//
+//vp:hotpath
+func GrowForeign(dst, src []int) []int {
+	out := append(dst, src...) // want `//vp:hotpath function GrowForeign: append to a destination other than the grown slice may allocate a new backing array`
+	return out
+}
+
+// UseHelper only allocates transitively, through a same-package helper.
+//
+//vp:hotpath
+func UseHelper() {
+	helper() // want `//vp:hotpath function UseHelper calls hot\.helper, which reaches an allocating construct`
+}
+
+func helper() {
+	_ = make([]int, 4)
+}
+
+// DeepChain reaches an allocation two same-package hops away.
+//
+//vp:hotpath
+func DeepChain() {
+	hop1() // want `//vp:hotpath function DeepChain calls hot\.hop1, which reaches an allocating construct`
+}
+
+func hop1() { hop2() }
+func hop2() { _ = []string{"x"} }
+
+// UseDep reaches allocations only through the imported dep package; the
+// diagnostics ride in on dep's exported allocFacts.
+//
+//vp:hotpath
+func UseDep() {
+	_ = dep.Grow() // want `//vp:hotpath function UseDep calls hot/dep\.Grow, which reaches an allocating construct`
+	_ = dep.Indirect() // want `//vp:hotpath function UseDep calls hot/dep\.Indirect, which reaches an allocating construct`
+}
+
+// CleanFold is the contract-respecting shape: index writes into provided
+// buffers, self-append growth, pointer arguments to interface parameters,
+// and non-allocating callees.
+//
+//vp:hotpath
+func CleanFold(dst, src []float64, s *Stats) float64 {
+	var acc float64
+	for i, v := range src {
+		if i < len(dst) {
+			dst[i] = v
+		}
+		acc += v
+	}
+	dst = append(dst, acc)    // self-append: legal warm-scratch growth
+	dst = append(dst[:0], 0)  // reslice-to-zero refill: also legal
+	_ = dst
+	sinkPtr(s) // pointers box without heap allocation
+	s.n = dep.Fine(s.n)
+	return acc
+}
+
+// Waived allocates on a line blessed by //vp:allocok, so nothing fires.
+//
+//vp:hotpath
+func Waived() *Stats {
+	//vp:allocok cold construction path, pinned by the package benchmarks
+	return &Stats{}
+}
+
+// WaivedEdge calls allocating functions on waived lines: the waiver blesses
+// the callee's transitive allocations along with the line's own.
+//
+//vp:hotpath
+func WaivedEdge() {
+	helper()     //vp:allocok amortized warm-up, pinned by the package benchmarks
+	_ = dep.Grow() //vp:allocok cold first-call growth, pinned by the package benchmarks
+}

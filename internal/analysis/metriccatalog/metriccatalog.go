@@ -1,0 +1,240 @@
+// Package metriccatalog is the static mirror of the server's runtime
+// metric-drift test: every videoplat_* series the /metrics handler can emit
+// must be declared in the metricsCatalog table (whose names MetricNames()
+// exposes to the documentation drift test), and every catalog entry must
+// actually emit the series it declares.
+//
+// The analyzer activates only in packages that define the catalog variable.
+// There it checks, over non-test files:
+//
+//   - each catalog entry's name is unique
+//   - each entry's sampler emits at least one literal carrying the entry's
+//     own name, and no literal carrying a different series name (the
+//     copy-paste hazard the runtime test cannot see until the series is
+//     scraped)
+//   - every prefixed string literal outside the catalog resolves to a
+//     declared entry
+//
+// Series names assembled by string concatenation or %s-formatting of the
+// name itself are invisible to this pass — the runtime drift test remains
+// the backstop for those.
+package metriccatalog
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Analyzer is the metriccatalog pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccatalog",
+	Doc:  "check that emitted videoplat_* metric literals and the metricsCatalog table agree",
+	Run:  run,
+}
+
+var (
+	prefix     = "videoplat_"
+	catalogVar = "metricsCatalog"
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&prefix, "prefix", prefix, "metric name prefix the catalog owns")
+	Analyzer.Flags.StringVar(&catalogVar, "catalog", catalogVar, "package-level catalog variable name")
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	catalog := findCatalog(pass)
+	if catalog == nil {
+		return nil, nil // not the metrics-owning package
+	}
+
+	// Pass 1: catalog entries — name uniqueness and per-entry emission
+	// consistency.
+	names := map[string]token.Pos{}
+	for _, elt := range catalog.Elts {
+		entry, ok := elt.(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		name, pos, ok := entryName(entry)
+		if !ok {
+			pass.Reportf(elt.Pos(), "%s entry has no literal name field; the catalog must name every series statically", catalogVar)
+			continue
+		}
+		if prev, dup := names[name]; dup {
+			pass.Reportf(pos, "duplicate catalog entry %q (previously declared at %s)", name, pass.Fset.Position(prev))
+			continue
+		}
+		names[name] = pos
+
+		emitted := literalSeries(pass, entry)
+		sawOwn := false
+		for _, lit := range emitted {
+			if lit.name == name {
+				sawOwn = true
+			} else {
+				pass.Reportf(lit.pos, "catalog entry %q emits series %q; a sampler must only emit its own series", name, lit.name)
+			}
+		}
+		if !sawOwn {
+			pass.Reportf(pos, "catalog entry %q never emits its own series by literal; the sampler and the name have drifted", name)
+		}
+	}
+
+	// Pass 2: prefixed literals outside the catalog must resolve to an
+	// entry.
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if cl, ok := n.(*ast.CompositeLit); ok && cl == catalog {
+				return false // pass 1 covered the catalog subtree
+			}
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			for _, s := range seriesInLiteral(lit) {
+				if _, ok := names[s.name]; !ok {
+					pass.Reportf(s.pos, "series %q is not declared in %s; add a catalog entry so MetricNames() and the docs drift test see it", s.name, catalogVar)
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// findCatalog locates the package-level catalog composite literal.
+func findCatalog(pass *analysis.Pass) *ast.CompositeLit {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if name.Name != catalogVar || i >= len(vs.Values) {
+						continue
+					}
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						return cl
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// entryName extracts a catalog entry's declared series name: the first
+// positional field, or a field keyed "name".
+func entryName(entry *ast.CompositeLit) (string, token.Pos, bool) {
+	if len(entry.Elts) == 0 {
+		return "", token.NoPos, false
+	}
+	field := entry.Elts[0]
+	for _, elt := range entry.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "name" {
+			field = kv.Value
+			break
+		}
+	}
+	lit, ok := field.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", token.NoPos, false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil || !strings.HasPrefix(s, prefix) {
+		return "", token.NoPos, false
+	}
+	return seriesName(s), lit.Pos(), true
+}
+
+type seriesLit struct {
+	name string
+	pos  token.Pos
+}
+
+// literalSeries collects every prefixed series literal in a subtree,
+// excluding the entry's own name field (handled by entryName).
+func literalSeries(pass *analysis.Pass, entry *ast.CompositeLit) []seriesLit {
+	var out []seriesLit
+	first := true
+	ast.Inspect(entry, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if first {
+			// The first string literal in the entry is the name field
+			// itself; everything after it is sampler territory.
+			if s, err := strconv.Unquote(lit.Value); err == nil && strings.HasPrefix(s, prefix) {
+				first = false
+				return true
+			}
+		}
+		out = append(out, seriesInLiteral(lit)...)
+		return true
+	})
+	return out
+}
+
+// seriesInLiteral extracts every prefixed series name occurring in one
+// string literal (a literal may embed the name inside a larger format
+// string, e.g. `videoplat_x{shard="%d"} %d`).
+func seriesInLiteral(lit *ast.BasicLit) []seriesLit {
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return nil
+	}
+	var out []seriesLit
+	for off := 0; ; {
+		i := strings.Index(s[off:], prefix)
+		if i < 0 {
+			break
+		}
+		start := off + i
+		out = append(out, seriesLit{name: seriesName(s[start:]), pos: lit.Pos()})
+		off = start + len(prefix)
+	}
+	return out
+}
+
+// seriesName truncates a prefixed string at the first character that cannot
+// be part of a Prometheus series name.
+func seriesName(s string) string {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':' {
+			continue
+		}
+		return s[:i]
+	}
+	return s
+}
+
+// isTestFile reports whether f is a _test.go file.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}

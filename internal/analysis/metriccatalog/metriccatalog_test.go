@@ -1,0 +1,12 @@
+package metriccatalog_test
+
+import (
+	"testing"
+
+	"videoplat/internal/analysis/metriccatalog"
+	"videoplat/internal/analysis/vptest"
+)
+
+func TestMetricCatalog(t *testing.T) {
+	vptest.Run(t, "testdata", metriccatalog.Analyzer, "metrics")
+}

@@ -1,0 +1,76 @@
+// Package metrics mirrors internal/server's metricsCatalog shape for the
+// metriccatalog analyzer: a table of metricDef entries whose samplers write
+// exposition lines, plus emission sites outside the table.
+package metrics
+
+import "strings"
+
+type metricDef struct {
+	name   string
+	help   string
+	sample func(w *strings.Builder)
+}
+
+func dynName() string { return "videoplat" + "_dyn_total" }
+
+var metricsCatalog = []metricDef{
+	{
+		"videoplat_requests_total",
+		"requests served",
+		func(w *strings.Builder) {
+			w.WriteString("videoplat_requests_total 42\n")
+		},
+	},
+	{
+		"videoplat_latency_seconds",
+		"stage latency",
+		func(w *strings.Builder) {
+			w.WriteString(`videoplat_latency_seconds{stage="parse"} 0.1` + "\n")
+		},
+	},
+	{
+		"videoplat_copypaste_total", // want `catalog entry "videoplat_copypaste_total" never emits its own series by literal`
+		"sampler pasted from another entry",
+		func(w *strings.Builder) {
+			w.WriteString("videoplat_requests_total 7\n") // want `catalog entry "videoplat_copypaste_total" emits series "videoplat_requests_total"; a sampler must only emit its own series`
+		},
+	},
+	{
+		"videoplat_ghost_total", // want `catalog entry "videoplat_ghost_total" never emits its own series by literal; the sampler and the name have drifted`
+		"declared but never emitted",
+		func(w *strings.Builder) {
+			w.WriteString("# nothing prefixed here\n")
+		},
+	},
+	{
+		"videoplat_requests_total", // want `duplicate catalog entry "videoplat_requests_total"`
+		"second declaration of the same series",
+		func(w *strings.Builder) {
+			w.WriteString("videoplat_requests_total 1\n")
+		},
+	},
+	{ // want `metricsCatalog entry has no literal name field; the catalog must name every series statically`
+		dynName(),
+		"name assembled at runtime",
+		func(w *strings.Builder) {},
+	},
+}
+
+// MetricNames is the documentation-drift hook, as in internal/server.
+func MetricNames() []string {
+	out := make([]string, 0, len(metricsCatalog))
+	for _, d := range metricsCatalog {
+		out = append(out, d.name)
+	}
+	return out
+}
+
+// emitExtra writes series outside the catalog: declared names resolve,
+// undeclared ones are flagged.
+func emitExtra(w *strings.Builder) {
+	w.WriteString("videoplat_requests_total 1\n")
+	w.WriteString("videoplat_latency_seconds{stage=\"fold\"} 0.2\n")
+	w.WriteString("videoplat_rogue_total 9\n") // want `series "videoplat_rogue_total" is not declared in metricsCatalog; add a catalog entry so MetricNames\(\) and the docs drift test see it`
+}
+
+var _ = emitExtra

@@ -1,0 +1,139 @@
+// Package nilguard enforces the observability layer's nil-safety contract:
+// a type annotated //vp:nilsafe promises that every exported pointer-receiver
+// method is a no-op (or returns a zero value) on a nil receiver, so
+// instrumented code paths need exactly one pointer check — or none at all
+// when the callee guards itself. The pipeline leans on this: an
+// un-instrumented deployment passes nil Observer/Tracer/Journal pointers
+// straight through and the hot path must survive every method hit.
+//
+// The rule is syntactic and strict on purpose: the method's first statement
+// must be an if whose condition tests the receiver against nil (possibly as
+// one operand of an || chain) and whose body returns. Anything else — a
+// guard after other work, a guard hidden in a helper — fails, because the
+// contract is "a single predictable branch before anything dereferences".
+package nilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"videoplat/internal/analysis/vpdirective"
+)
+
+// Analyzer is the nilguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name:     "nilguard",
+	Doc:      "check that exported methods on //vp:nilsafe types begin with a nil-receiver guard",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Collect the annotated type names.
+	nilsafe := map[types.Object]bool{}
+	ins.Preorder([]ast.Node{(*ast.GenDecl)(nil)}, func(n ast.Node) {
+		gd := n.(*ast.GenDecl)
+		if gd.Tok != token.TYPE {
+			return
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || !vpdirective.NilSafe(gd, ts) {
+				continue
+			}
+			if obj := pass.TypesInfo.Defs[ts.Name]; obj != nil {
+				nilsafe[obj] = true
+			}
+		}
+	})
+	if len(nilsafe) == 0 {
+		return nil, nil
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		fd := n.(*ast.FuncDecl)
+		if fd.Recv == nil || len(fd.Recv.List) != 1 || !fd.Name.IsExported() || fd.Body == nil {
+			return
+		}
+		// Pointer receiver on an annotated type?
+		recvField := fd.Recv.List[0]
+		star, ok := recvField.Type.(*ast.StarExpr)
+		if !ok {
+			return // value receivers cannot observe a nil pointer
+		}
+		base := ast.Unparen(star.X)
+		if ix, ok := base.(*ast.IndexExpr); ok { // generic receiver T[P]
+			base = ix.X
+		}
+		id, ok := base.(*ast.Ident)
+		if !ok || !nilsafe[pass.TypesInfo.Uses[id]] {
+			return
+		}
+		if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+			pass.Reportf(fd.Pos(), "method %s.%s on //vp:nilsafe type must name its receiver and begin with a nil-receiver guard",
+				id.Name, fd.Name.Name)
+			return
+		}
+		recv := pass.TypesInfo.Defs[recvField.Names[0]]
+		if guardsNil(pass, fd.Body, recv) {
+			return
+		}
+		pass.Reportf(fd.Pos(), "method %s.%s on //vp:nilsafe type %s must begin with a nil-receiver guard (if %s == nil { return ... })",
+			id.Name, fd.Name.Name, id.Name, recvField.Names[0].Name)
+	})
+	return nil, nil
+}
+
+// guardsNil reports whether the body's first statement is an if whose
+// condition tests the receiver against nil in a position that short-circuits
+// (the condition itself, or any operand of a top-level || chain) and whose
+// body terminates with a return.
+func guardsNil(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifs, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	if !condTestsNil(pass, ifs.Cond, recv) {
+		return false
+	}
+	if len(ifs.Body.List) == 0 {
+		return false
+	}
+	_, ok = ifs.Body.List[len(ifs.Body.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// condTestsNil matches `recv == nil` (either operand order) anywhere in a
+// top-level || chain.
+func condTestsNil(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	cond = ast.Unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == token.LOR {
+		return condTestsNil(pass, be.X, recv) || condTestsNil(pass, be.Y, recv)
+	}
+	if be.Op != token.EQL {
+		return false
+	}
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}

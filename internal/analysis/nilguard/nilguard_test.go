@@ -1,0 +1,12 @@
+package nilguard_test
+
+import (
+	"testing"
+
+	"videoplat/internal/analysis/nilguard"
+	"videoplat/internal/analysis/vptest"
+)
+
+func TestNilguard(t *testing.T) {
+	vptest.Run(t, "testdata", nilguard.Analyzer, "nilsafe")
+}

@@ -1,0 +1,76 @@
+// Package nilsafe exercises the nilguard analyzer with an obs-shaped
+// observer type whose methods must all be nil-receiver safe.
+package nilsafe
+
+// Observer is nil-safe: all exported pointer-receiver methods must begin
+// with a nil-receiver guard.
+//
+//vp:nilsafe
+type Observer struct {
+	count uint64
+}
+
+// Record is the canonical guarded form.
+func (o *Observer) Record(v uint64) {
+	if o == nil {
+		return
+	}
+	o.count += v
+}
+
+// RecordBounded guards with the receiver as one || operand.
+func (o *Observer) RecordBounded(v uint64, max uint64) {
+	if o == nil || v > max {
+		return
+	}
+	o.count += v
+}
+
+// Count guards and returns a zero value.
+func (o *Observer) Count() uint64 {
+	if nil == o {
+		return 0
+	}
+	return o.count
+}
+
+// Unguarded dereferences a possibly-nil receiver.
+func (o *Observer) Unguarded(v uint64) { // want `method Observer\.Unguarded on //vp:nilsafe type Observer must begin with a nil-receiver guard`
+	o.count += v
+	if o == nil { // too late: the dereference above already faulted
+		return
+	}
+}
+
+// GuardedSecond does work before the guard.
+func (o *Observer) GuardedSecond(v uint64) { // want `method Observer\.GuardedSecond on //vp:nilsafe type Observer must begin with a nil-receiver guard`
+	_ = v
+	if o == nil {
+		return
+	}
+	o.count += v
+}
+
+// GuardNoReturn tests but does not return.
+func (o *Observer) GuardNoReturn(v uint64) { // want `method Observer\.GuardNoReturn on //vp:nilsafe type Observer must begin with a nil-receiver guard`
+	if o == nil {
+		v = 0
+	}
+	o.count += v
+}
+
+// Reset cannot guard a receiver it never names.
+func (*Observer) Reset() {} // want `method Observer\.Reset on //vp:nilsafe type must name its receiver`
+
+// reset is unexported: internal callers already hold a non-nil receiver.
+func (o *Observer) reset() { o.count = 0 }
+
+// Snapshot is a value-receiver method: a nil pointer cannot reach it
+// without faulting at the call site, so no guard is required.
+func (o Observer) Snapshot() uint64 { return o.count }
+
+// Plain is not annotated; nothing is required of it.
+type Plain struct{ n int }
+
+// Bump needs no guard.
+func (p *Plain) Bump() { p.n++ }

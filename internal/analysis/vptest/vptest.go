@@ -1,0 +1,321 @@
+// Package vptest is a self-contained analysistest substitute: it loads
+// GOPATH-layout packages from an analyzer's testdata/src tree, runs an
+// analyzer (and its Requires closure) over them with an in-memory fact
+// store shared across packages, and compares reported diagnostics against
+// // want "regexp" comments, analysistest-style.
+//
+// It exists because the repo vendors only the go/analysis core from the
+// toolchain's own vendored x/tools (the module proxy is unreachable in this
+// build environment), and the real analysistest drags in go/packages and a
+// process-spawning loader. The harness supports exactly what the vpvet
+// analyzers need: multiple packages analyzed in dependency order (so
+// hotpath's cross-package facts flow), std imports resolved from GOROOT
+// source, and per-line want assertions.
+package vptest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run analyzes the listed packages (GOPATH layout under testdata/src, in
+// the given order — dependencies first so facts flow) with a and reports
+// any mismatch between diagnostics and // want comments through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := &loader{
+		fset:     token.NewFileSet(),
+		srcRoot:  filepath.Join(testdata, "src"),
+		loaded:   map[string]*loadedPkg{},
+		objFacts: map[types.Object][]analysis.Fact{},
+		pkgFacts: map[*types.Package][]analysis.Fact{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+
+	wants := map[string][]*want{} // "file:line" -> pending expectations
+	var diags []posDiag
+	for _, path := range pkgPaths {
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, f := range lp.files {
+			collectWants(t, l.fset, f, wants)
+		}
+		ds, err := l.analyze(lp, a)
+		if err != nil {
+			t.Fatalf("analyzing %s: %v", path, err)
+		}
+		diags = append(diags, ds...)
+	}
+
+	for _, d := range diags {
+		key := fmt.Sprintf("%s:%d", filepath.Base(d.pos.Filename), d.pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.msg) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.msg)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants parses `// want "re" "re"` comments.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File, wants map[string][]*want) {
+	t.Helper()
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "want ") {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+			rest := strings.TrimPrefix(text, "want ")
+			for rest = strings.TrimSpace(rest); rest != ""; rest = strings.TrimSpace(rest) {
+				if rest[0] != '"' && rest[0] != '`' {
+					t.Fatalf("%s: malformed want comment: %s", key, c.Text)
+				}
+				var q string
+				if rest[0] == '`' {
+					end := strings.IndexByte(rest[1:], '`')
+					if end < 0 {
+						t.Fatalf("%s: malformed want comment: %s", key, c.Text)
+					}
+					q = rest[:end+2]
+				} else {
+					var err error
+					q, err = strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s: malformed want comment: %s", key, c.Text)
+					}
+				}
+				unq, _ := strconv.Unquote(q)
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", key, unq, err)
+				}
+				wants[key] = append(wants[key], &want{re: re})
+				rest = rest[len(q):]
+			}
+		}
+	}
+}
+
+type posDiag struct {
+	pos token.Position
+	msg string
+}
+
+type loadedPkg struct {
+	path  string
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+	// results memoizes per-analyzer results so Requires closures are run
+	// once per package.
+	results map[*analysis.Analyzer]interface{}
+}
+
+type loader struct {
+	fset    *token.FileSet
+	srcRoot string
+	std     types.Importer
+	loaded  map[string]*loadedPkg
+
+	objFacts map[types.Object][]analysis.Fact
+	pkgFacts map[*types.Package][]analysis.Fact
+}
+
+// Import implements types.Importer: testdata packages by directory, std
+// packages from GOROOT source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if lp, ok := l.loaded[path]; ok {
+		return lp.pkg, nil
+	}
+	if _, err := os.Stat(filepath.Join(l.srcRoot, path)); err == nil {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and typechecks one testdata package.
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if lp, ok := l.loaded[path]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(l.srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:        map[ast.Expr]types.TypeAndValue{},
+		Defs:         map[*ast.Ident]types.Object{},
+		Uses:         map[*ast.Ident]types.Object{},
+		Implicits:    map[ast.Node]types.Object{},
+		Selections:   map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:       map[ast.Node]*types.Scope{},
+		Instances:    map[*ast.Ident]types.Instance{},
+		FileVersions: map[*ast.File]string{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{
+		path:    path,
+		files:   files,
+		pkg:     pkg,
+		info:    info,
+		results: map[*analysis.Analyzer]interface{}{},
+	}
+	l.loaded[path] = lp
+	return lp, nil
+}
+
+// analyze runs a (and, first, its Requires closure) over lp, returning the
+// diagnostics a itself reported.
+func (l *loader) analyze(lp *loadedPkg, a *analysis.Analyzer) ([]posDiag, error) {
+	for _, req := range a.Requires {
+		if _, ok := lp.results[req]; ok {
+			continue
+		}
+		if _, err := l.analyze(lp, req); err != nil {
+			return nil, err
+		}
+	}
+	var diags []posDiag
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       l.fset,
+		Files:      lp.files,
+		Pkg:        lp.pkg,
+		TypesInfo:  lp.info,
+		TypesSizes: types.SizesFor("gc", "amd64"),
+		ResultOf:   map[*analysis.Analyzer]interface{}{},
+		Report: func(d analysis.Diagnostic) {
+			diags = append(diags, posDiag{pos: l.fset.Position(d.Pos), msg: d.Message})
+		},
+		ReadFile: os.ReadFile,
+		ImportObjectFact: func(obj types.Object, fact analysis.Fact) bool {
+			return copyFact(l.objFacts[obj], fact)
+		},
+		ExportObjectFact: func(obj types.Object, fact analysis.Fact) {
+			l.objFacts[obj] = storeFact(l.objFacts[obj], fact)
+		},
+		ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool {
+			return copyFact(l.pkgFacts[pkg], fact)
+		},
+		ExportPackageFact: func(fact analysis.Fact) {
+			l.pkgFacts[lp.pkg] = storeFact(l.pkgFacts[lp.pkg], fact)
+		},
+		AllObjectFacts: func() []analysis.ObjectFact {
+			var out []analysis.ObjectFact
+			for obj, facts := range l.objFacts {
+				for _, f := range facts {
+					out = append(out, analysis.ObjectFact{Object: obj, Fact: f})
+				}
+			}
+			return out
+		},
+		AllPackageFacts: func() []analysis.PackageFact {
+			var out []analysis.PackageFact
+			for pkg, facts := range l.pkgFacts {
+				for _, f := range facts {
+					out = append(out, analysis.PackageFact{Package: pkg, Fact: f})
+				}
+			}
+			return out
+		},
+	}
+	for _, req := range a.Requires {
+		pass.ResultOf[req] = lp.results[req]
+	}
+	res, err := a.Run(pass)
+	if err != nil {
+		return nil, err
+	}
+	lp.results[a] = res
+	return diags, nil
+}
+
+// storeFact appends or replaces the stored fact of fact's concrete type.
+func storeFact(facts []analysis.Fact, fact analysis.Fact) []analysis.Fact {
+	for i, f := range facts {
+		if fmt.Sprintf("%T", f) == fmt.Sprintf("%T", fact) {
+			facts[i] = fact
+			return facts
+		}
+	}
+	return append(facts, fact)
+}
+
+// copyFact copies a stored fact of the requested concrete type into fact,
+// reporting whether one existed. Facts are small structs of plain data, so
+// a shallow reflect-free copy through the stored pointer suffices.
+func copyFact(facts []analysis.Fact, fact analysis.Fact) bool {
+	for _, f := range facts {
+		if fmt.Sprintf("%T", f) == fmt.Sprintf("%T", fact) {
+			reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(f).Elem())
+			return true
+		}
+	}
+	return false
+}

@@ -336,13 +336,16 @@ func (ce *CompiledEncoder) Encode(info *HandshakeInfo) []float64 {
 // and returns the width-long vector. The result is element-identical to
 // Transform(ExtractWithOptions(info, opts)) on the encoder this was compiled
 // from. sc provides the per-caller buffers that keep the steady state
-// allocation-free; nil sc allocates a temporary one.
+// allocation-free; nil sc allocates a temporary one. Zero-allocation in the
+// steady state, pinned by TestEncodeIntoZeroAlloc.
+//
+//vp:hotpath
 func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *EncodeScratch) []float64 {
 	if sc == nil {
-		sc = &EncodeScratch{}
+		sc = &EncodeScratch{} //vp:allocok cold nil-scratch path for off-path callers
 	}
 	if cap(dst) < ce.width {
-		dst = make([]float64, ce.width)
+		dst = make([]float64, ce.width) //vp:allocok cold first-call growth; steady state reuses dst
 	} else {
 		dst = dst[:ce.width]
 		clear(dst)
@@ -356,7 +359,7 @@ func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *En
 		tp = info.Params
 		if tp == nil && ch != nil {
 			if e, ok := ch.Extension(tlsproto.ExtQUICTransportParams); ok {
-				tp, _ = quicproto.ParseTransportParameters(e.Data)
+				tp, _ = quicproto.ParseTransportParameters(e.Data) //vp:allocok cold lazy parse; assembler pre-populates Params when serving
 			}
 		}
 	}
@@ -432,7 +435,7 @@ func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *En
 			ca.writeU16List(dst, sc.u16)
 		case opU8BytesCat:
 			if b := ch.U8PrefixedBytes(ca.ext); b != nil {
-				dst[ca.col] = float64(ca.str[string(b)])
+				dst[ca.col] = float64(ca.str[string(b)]) //vp:allocok map-index string conversion is not materialized
 			}
 		case opALPN:
 			// The map index converts the aliased wire bytes in place — no
@@ -442,7 +445,7 @@ func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *En
 				if i >= ca.width {
 					break
 				}
-				dst[ca.col+i] = float64(ca.str[string(name)])
+				dst[ca.col+i] = float64(ca.str[string(name)]) //vp:allocok map-index string conversion is not materialized
 			}
 		case opPresence:
 			if ch.HasExtension(ca.ext) {
@@ -452,7 +455,7 @@ func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *En
 			sc.u16 = ch.AppendCompressCertAlgorithms(sc.u16[:0])
 			if len(sc.u16) > 0 {
 				sc.tok = appendCompressToken(sc.tok[:0], sc.u16)
-				dst[ca.col] = float64(ca.str[string(sc.tok)])
+				dst[ca.col] = float64(ca.str[string(sc.tok)]) //vp:allocok map-index string conversion is not materialized
 			}
 		case opRecordSizeLimit:
 			if lim := ch.RecordSizeLimit(); lim > 0 {
@@ -493,7 +496,7 @@ func (ce *CompiledEncoder) EncodeInto(dst []float64, info *HandshakeInfo, sc *En
 				break
 			}
 			if p, ok := tp.Get(ca.param); ok {
-				dst[ca.col] = float64(ca.str[string(p.Value)])
+				dst[ca.col] = float64(ca.str[string(p.Value)]) //vp:allocok map-index string conversion is not materialized
 			}
 		}
 	}
@@ -534,7 +537,7 @@ func appendCompressToken(tok []byte, algs []uint16) []byte {
 			tok = append(tok, "zstd"...)
 		default:
 			tok = append(tok, "0x"...)
-			tok = strconv.AppendUint(tok, uint64(a), 16)
+			tok = strconv.AppendUint(tok, uint64(a), 16) //vp:allocok amortized growth of reused scratch, pinned by TestEncodeIntoZeroAlloc
 		}
 	}
 	return tok

@@ -85,6 +85,8 @@ func (f *RandomForest) PredictProba(x []float64) []float64 {
 // without allocating. The returned slice is the (possibly grown) buffer;
 // the float operations are performed in the same order as PredictProba, so
 // the two are bitwise identical.
+//
+//vp:hotpath
 func (f *RandomForest) PredictProbaInto(x, out []float64) []float64 {
 	out = out[:0]
 	for _, t := range f.trees {
@@ -105,6 +107,8 @@ func (f *RandomForest) PredictProbaInto(x, out []float64) []float64 {
 // PredictInto returns the argmax class index and its probability, reusing
 // *proba as the probability scratch buffer (it is grown in place as
 // needed). Equivalent to Predict(f, x) with zero steady-state allocations.
+//
+//vp:hotpath
 func (f *RandomForest) PredictInto(x []float64, proba *[]float64) (int, float64) {
 	*proba = f.PredictProbaInto(x, *proba)
 	best, bestP := 0, -1.0

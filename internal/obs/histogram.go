@@ -66,15 +66,25 @@ func BucketUpperBound(i int) int64 {
 // stopping writers (bucket sums are monotonic; a snapshot racing a Record
 // may miss the in-flight sample but never sees torn state).
 //
-// The zero value is ready to use.
+// The zero value is ready to use. All exported methods are nil-receiver
+// safe, so call sites holding a possibly-nil *Histogram (e.g. from
+// PipelineObserver.Stage) need no pointer check.
+//
+//vp:nilsafe
 type Histogram struct {
 	counts [NumBuckets]atomic.Uint64
 	sum    atomic.Int64
 	max    atomic.Int64
 }
 
-// Record adds one latency sample. 0 allocs/op, safe from any goroutine.
+// Record adds one latency sample. 0 allocs/op, safe from any goroutine,
+// no-op on a nil receiver.
+//
+//vp:hotpath
 func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
 	ns := int64(d)
 	if ns < 0 {
 		ns = 0
@@ -91,8 +101,12 @@ func (h *Histogram) Record(d time.Duration) {
 
 // Snapshot captures the histogram's current contents. The total count is
 // derived from the bucket counts themselves, so quantiles computed from a
-// snapshot are always internally consistent even while writers race.
+// snapshot are always internally consistent even while writers race. A nil
+// receiver yields an empty snapshot.
 func (h *Histogram) Snapshot() *Snapshot {
+	if h == nil {
+		return &Snapshot{}
+	}
 	s := &Snapshot{counts: make([]uint64, NumBuckets)}
 	for i := range h.counts {
 		c := h.counts[i].Load()

@@ -54,6 +54,8 @@ func Stages() []Stage {
 // PipelineObserver holds one lock-free histogram per pipeline stage. All
 // methods are nil-receiver safe, so instrumented code paths need only a
 // single pointer check (or none: Record on a nil observer is a no-op).
+//
+//vp:nilsafe
 type PipelineObserver struct {
 	hists [NumStages]Histogram
 }
@@ -63,6 +65,8 @@ func NewPipelineObserver() *PipelineObserver { return &PipelineObserver{} }
 
 // Record adds one latency sample to the stage's histogram. 0 allocs/op; a
 // nil receiver or out-of-range stage is a no-op.
+//
+//vp:hotpath
 func (o *PipelineObserver) Record(s Stage, d time.Duration) {
 	if o == nil || s < 0 || int(s) >= NumStages {
 		return

@@ -22,13 +22,15 @@ type Summary struct {
 }
 
 // Observe folds one latency sample into the summary.
+//
+//vp:hotpath
 func (s *Summary) Observe(d time.Duration) {
 	ns := int64(d)
 	if ns < 0 {
 		ns = 0
 	}
 	if s.Buckets == nil {
-		s.Buckets = make(map[int]uint64)
+		s.Buckets = make(map[int]uint64) //vp:allocok lazy one-time init per window
 	}
 	s.Buckets[bucketIndex(ns)]++
 	s.Count++

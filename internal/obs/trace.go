@@ -60,7 +60,10 @@ type TracerConfig struct {
 // Tracer samples flow lifecycles deterministically (every Nth admitted
 // flow), pools span records so steady-state tracing does not allocate, and
 // retains finished spans in a bounded ring plus a separate slowest-K set.
-// Admit/Finish are safe from concurrent shard workers.
+// Admit/Finish are safe from concurrent shard workers and no-ops on a nil
+// receiver, so an untraced deployment passes a nil *Tracer straight through.
+//
+//vp:nilsafe
 type Tracer struct {
 	every   int
 	ringCap int

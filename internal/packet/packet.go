@@ -78,7 +78,7 @@ func (ip *IPv4) Decode(b []byte) (payload []byte, err error) {
 		return nil, ErrTruncated
 	}
 	if v := b[0] >> 4; v != 4 {
-		return nil, fmt.Errorf("packet: IPv4 version %d: %w", v, ErrUnsupported)
+		return nil, fmt.Errorf("packet: IPv4 version %d: %w", v, ErrUnsupported) //vp:allocok cold malformed-header error path
 	}
 	ihl := int(b[0]&0x0f) * 4
 	if ihl < 20 || len(b) < ihl {
@@ -143,7 +143,7 @@ func (ip *IPv6) Decode(b []byte) (payload []byte, err error) {
 		return nil, ErrTruncated
 	}
 	if v := b[0] >> 4; v != 6 {
-		return nil, fmt.Errorf("packet: IPv6 version %d: %w", v, ErrUnsupported)
+		return nil, fmt.Errorf("packet: IPv6 version %d: %w", v, ErrUnsupported) //vp:allocok cold malformed-header error path
 	}
 	ip.TrafficClass = b[0]<<4 | b[1]>>4
 	ip.FlowLabel = binary.BigEndian.Uint32(b[0:4]) & 0xfffff

@@ -91,13 +91,16 @@ type Parser struct{}
 // Parse decodes frame into out. Layers that cannot be decoded terminate the
 // walk; Decoded records how far it got. An unsupported EtherType or IP
 // protocol is not an error — the payload is simply left at that layer.
+// Zero-allocation on the decode path, pinned by TestParseAllocFree.
+//
+//vp:hotpath
 func (ps *Parser) Parse(frame []byte, out *Parsed) error {
 	out.Decoded = out.decodedStorage[:0]
 	out.Payload = nil
 
 	rest, err := out.Eth.Decode(frame)
 	if err != nil {
-		return fmt.Errorf("ethernet: %w", err)
+		return fmt.Errorf("ethernet: %w", err) //vp:allocok cold malformed-frame error path
 	}
 	out.Decoded = append(out.Decoded, LayerEthernet)
 
@@ -105,13 +108,13 @@ func (ps *Parser) Parse(frame []byte, out *Parsed) error {
 	switch out.Eth.EtherType {
 	case EtherTypeIPv4:
 		if rest, err = out.IP4.Decode(rest); err != nil {
-			return fmt.Errorf("ipv4: %w", err)
+			return fmt.Errorf("ipv4: %w", err) //vp:allocok cold malformed-frame error path
 		}
 		out.Decoded = append(out.Decoded, LayerIPv4)
 		proto = out.IP4.Protocol
 	case EtherTypeIPv6:
 		if rest, err = out.IP6.Decode(rest); err != nil {
-			return fmt.Errorf("ipv6: %w", err)
+			return fmt.Errorf("ipv6: %w", err) //vp:allocok cold malformed-frame error path
 		}
 		out.Decoded = append(out.Decoded, LayerIPv6)
 		proto = out.IP6.Protocol
@@ -123,12 +126,12 @@ func (ps *Parser) Parse(frame []byte, out *Parsed) error {
 	switch proto {
 	case ProtoTCP:
 		if rest, err = out.TCP.Decode(rest); err != nil {
-			return fmt.Errorf("tcp: %w", err)
+			return fmt.Errorf("tcp: %w", err) //vp:allocok cold malformed-frame error path
 		}
 		out.Decoded = append(out.Decoded, LayerTCP)
 	case ProtoUDP:
 		if rest, err = out.UDP.Decode(rest); err != nil {
-			return fmt.Errorf("udp: %w", err)
+			return fmt.Errorf("udp: %w", err) //vp:allocok cold malformed-frame error path
 		}
 		out.Decoded = append(out.Decoded, LayerUDP)
 	}

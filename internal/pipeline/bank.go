@@ -109,7 +109,7 @@ type bankEntry struct {
 // entry returns the serving index entry for a (provider, transport), or nil
 // when any objective model is missing.
 func (b *Bank) entry(prov fingerprint.Provider, tr fingerprint.Transport) *bankEntry {
-	b.entriesOnce.Do(func() {
+	b.entriesOnce.Do(func() { //vp:allocok one-time lazy serving-index build under sync.Once
 		b.entries = map[entryKey]*bankEntry{}
 		for key := range b.models {
 			ek := entryKey{key.Provider, key.Transport}
@@ -311,20 +311,23 @@ type ClassifyScratch struct {
 // with no FieldValues maps and no string formatting. Predictions are
 // byte-identical to Classify(prov, tr, features.Extract(info)) — pinned by
 // the golden-equivalence tests. A nil sc allocates temporaries (used by
-// off-path callers like the shadow evaluator).
+// off-path callers like the shadow evaluator). Zero-allocation with a warm
+// scratch, pinned by TestClassifyHandshakeZeroAlloc.
+//
+//vp:hotpath
 func (b *Bank) ClassifyHandshake(prov fingerprint.Provider, tr fingerprint.Transport, info *features.HandshakeInfo, sc *ClassifyScratch) (Prediction, error) {
 	var p Prediction
 	e := b.entry(prov, tr)
 	if e == nil {
-		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr)
+		return p, fmt.Errorf("pipeline: no models for %s/%s", prov, tr) //vp:allocok cold no-models error path
 	}
 	if e.shared == nil {
 		// Encoders differ or did not compile: fall back to the reference
 		// extraction path.
-		return b.Classify(prov, tr, features.Extract(info))
+		return b.Classify(prov, tr, features.Extract(info)) //vp:allocok cold fallback when encoders did not compile
 	}
 	if sc == nil {
-		sc = &ClassifyScratch{}
+		sc = &ClassifyScratch{} //vp:allocok cold nil-scratch path for off-path callers
 	}
 	sc.vec = e.shared.EncodeInto(sc.vec, info, &sc.enc)
 	p.Platform, p.PlatformConf, p.PlatformMargin = e.platform.predictIntoMargin(sc.vec, &sc.proba)

@@ -136,7 +136,11 @@ type ingestFrame struct {
 	payloadLen int
 }
 
-// add packs one decoded frame and its bytes into the batch.
+// add packs one decoded frame and its bytes into the batch. data is only
+// borrowed: its bytes are copied into the arena and the caller may recycle
+// the buffer as soon as add returns.
+//
+//vp:borrowed data
 func (b *ingestBatch) add(f ingestFrame, data []byte) {
 	f.off = len(b.arena)
 	b.arena = append(b.arena, data...)
@@ -266,6 +270,8 @@ func (s *Sharded) send(sh *shard, msg shardMsg) {
 // frame is copied, so the caller may reuse it immediately. See the type
 // comment for the ingest contract (single ingest goroutine; frames without
 // a TCP/UDP 5-tuple are dropped and counted in Ignored).
+//
+//vp:borrowed frame
 func (s *Sharded) HandlePacket(ts time.Time, frame []byte) {
 	var t0 time.Time
 	if s.obsv != nil {

@@ -35,6 +35,10 @@ type Cell struct {
 	Confidence *ConfidenceHist `json:"confidence,omitempty"`
 }
 
+// add folds one finalized flow into the cell. On the window-fold path,
+// pinned allocation-free (modulo lazy one-time inits) by TestFoldZeroAlloc.
+//
+//vp:hotpath
 func (c *Cell) add(rec *pipeline.FlowRecord) {
 	c.Flows++
 	if rec.Classified {
@@ -44,7 +48,7 @@ func (c *Cell) add(rec *pipeline.FlowRecord) {
 			c.AbstainedFlows++
 		}
 		if c.Confidence == nil {
-			c.Confidence = &ConfidenceHist{}
+			c.Confidence = &ConfidenceHist{} //vp:allocok lazy one-time init per window cell
 		}
 		c.Confidence.Observe(rec.Prediction.PlatformConf)
 	}

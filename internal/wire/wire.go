@@ -26,7 +26,7 @@ type Reader struct {
 }
 
 // NewReader returns a Reader positioned at the start of buf.
-func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} } //vp:allocok inlined; non-escaping readers stay on the stack, pinned by TestEncodeIntoZeroAlloc
 
 // Len reports the number of unread bytes.
 func (r *Reader) Len() int { return len(r.buf) - r.off }
