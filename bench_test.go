@@ -358,6 +358,19 @@ func BenchmarkClassifyFlow(b *testing.B) {
 // which must stay at 0 allocs/op.
 func BenchmarkClassify(b *testing.B) {
 	bank := trainedBank(b)
+	// The predict tier gets its own production-scale bank (40 depth-20 trees
+	// per model over a larger lab dataset, the §4.3.1 serving shape): the
+	// compiled layout's advantage is cache behavior, which only shows once
+	// the ensembles outgrow L1 — the quick 15-tree bank above stays
+	// cache-resident and would understate the gap.
+	predictDS, err := videoplat.GenerateLabDataset(1, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	predictBank, err := videoplat.Train(predictDS, videoplat.ForestConfig{NumTrees: 40, MaxDepth: 20, MaxFeatures: 34, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
 	start := time.Date(2023, 7, 7, 0, 0, 0, 0, time.UTC)
 	for _, tc := range []struct {
 		name string
@@ -403,6 +416,100 @@ func BenchmarkClassify(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+		// The predict tier isolates the forest pass this PR compiles: the
+		// same fitted bank's three objective ensembles over 64 distinct
+		// pre-encoded flows, as the reference pointer walk, the compiled
+		// flat-array walk, and the lane-interleaved batch sweep. All three
+		// must hold 0 allocs/op; compiled+batch must beat the pointer walk
+		// by ≥2× ns/flow.
+		b.Run("predict/"+tc.name, func(b *testing.B) {
+			const batch = 64
+			models := [3]*pipeline.Model{
+				predictBank.Model(fingerprint.YouTube, tc.tr, pipeline.PlatformObjective),
+				predictBank.Model(fingerprint.YouTube, tc.tr, pipeline.DeviceObjective),
+				predictBank.Model(fingerprint.YouTube, tc.tr, pipeline.AgentObjective),
+			}
+			var rows []float64
+			stride := 0
+			g := tracegen.New(77)
+			labels := fingerprint.AllPlatformLabels()
+			for i := 0; len(rows)/max(stride, 1) < batch; i++ {
+				label := labels[i%len(labels)]
+				if !fingerprint.SupportMatrix(label, fingerprint.YouTube) {
+					continue
+				}
+				if tc.tr == fingerprint.TCP && !fingerprint.SupportsTCP(label, fingerprint.YouTube) {
+					continue
+				}
+				if tc.tr == fingerprint.QUIC && !fingerprint.SupportsQUIC(label, fingerprint.YouTube) {
+					continue
+				}
+				bft, err := g.Flow(label, fingerprint.YouTube, tc.tr, tracegen.FlowSpec{Start: start, PayloadFrames: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				binfo, err := pipeline.ExtractTrace(bft)
+				if err != nil {
+					b.Fatal(err)
+				}
+				vec := models[0].Encoder.Transform(features.Extract(binfo))
+				stride = len(vec)
+				rows = append(rows, vec...)
+			}
+			var proba []float64
+
+			b.Run("pointer-walk", func(b *testing.B) {
+				models[0].Forest.PredictInto(rows[:stride], &proba)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for r := 0; r < batch; r++ {
+						row := rows[r*stride : (r+1)*stride]
+						for _, m := range models {
+							m.Forest.PredictInto(row, &proba)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+			})
+			b.Run("compiled", func(b *testing.B) {
+				for _, m := range models {
+					if m.CompiledForest() == nil {
+						b.Fatal("forest did not compile")
+					}
+				}
+				models[0].CompiledForest().PredictInto(rows[:stride], &proba)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for r := 0; r < batch; r++ {
+						row := rows[r*stride : (r+1)*stride]
+						for _, m := range models {
+							m.CompiledForest().PredictInto(row, &proba)
+						}
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+			})
+			b.Run("batch", func(b *testing.B) {
+				var outs [3][]float64
+				for oi, m := range models {
+					cf := m.CompiledForest()
+					if cf == nil {
+						b.Fatal("forest did not compile")
+					}
+					outs[oi] = cf.PredictBatchInto(rows, stride, nil)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for oi, m := range models {
+						outs[oi] = m.CompiledForest().PredictBatchInto(rows, stride, outs[oi])
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+			})
 		})
 	}
 }

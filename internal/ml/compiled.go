@@ -1,0 +1,494 @@
+package ml
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// cnode is one flattened tree node: 16 bytes, so a root-to-leaf walk touches
+// one cache line per visited node instead of chasing *node pointers across
+// the heap. Trees are laid out in preorder with the left subtree emitted
+// immediately after its parent, so the left child is implicitly id+1 and
+// only the right child needs storing.
+//
+// Leaves are self-loops: thresh is NaN (every `x <= NaN` is false) and right
+// is the leaf's own id, so a walk that reaches a leaf parks there harmlessly.
+// That lets the evaluators run a fixed number of branchless steps (the tree's
+// compiled depth) instead of testing for leaf arrival on every level — the
+// test would be an unpredictable branch precisely where walks diverge.
+type cnode struct {
+	// feat is the split feature for internal nodes; 0 for leaves (a safe
+	// dummy load — the NaN compare discards it).
+	feat int32
+	// right is the right child's node id for internal nodes; for leaves,
+	// the leaf's own id (the self-loop).
+	right  int32
+	thresh float64
+}
+
+// CompiledForest is a fitted RandomForest lowered into the serving
+// representation: every tree's nodes flattened into one contiguous array of
+// packed 16-byte records (split feature, threshold, right-child id — the
+// left child is implicit in the preorder layout) with leaf distributions
+// gathered into one shared probability table, evaluated with a tight loop
+// over array indices instead of chasing *node pointers across the heap.
+// Where the reference ensemble walks ~50 heap-scattered trees per
+// prediction, the compiled form streams through one dense array whose hot
+// prefix stays cache-resident across predictions.
+//
+// Accumulation happens in the same tree order and with the same float
+// operations as RandomForest.PredictProbaInto, so compiled predictions are
+// byte-identical to the reference path (pinned by the golden-equivalence
+// tests). A CompiledForest is immutable after CompileForest and safe for
+// concurrent use; probability scratch is caller-owned.
+type CompiledForest struct {
+	// nodes holds every tree's records back-to-back; roots[t] is tree t's
+	// root id and depths[t] its edge depth (walks run exactly depths[t]
+	// branchless steps; shallower paths park on their leaf's self-loop).
+	// Within a tree the layout is preorder (parent, then the whole left
+	// subtree, then the right), so a walk moves forward through memory.
+	nodes  []cnode
+	roots  []int32
+	depths []int32
+	// evalRoots/evalDepths are the batched walk order: within every chunk
+	// of batchChunk trees, the roots and depths permuted so depths ascend,
+	// so each lane group holds similar-depth trees and pads its fixed step
+	// count (the group max) as little as possible. pos[t] is tree t's slot
+	// within its chunk's walk scratch, used to read leaves back in original
+	// tree order when accumulating — float accumulation order is what keeps
+	// batched results byte-identical to the reference path.
+	evalRoots  []int32
+	evalDepths []int32
+	pos        []int32
+	// The shared leaf-distribution table, stored sparse: row r's entries are
+	// probaIdx/probaVal[rowOff[r]:rowOff[r+1]] — only the nonzero class
+	// probabilities, in ascending class order, values copied verbatim from
+	// the reference trees. Skipping the exact-+0.0 entries is bitwise a
+	// no-op (accumulators are non-negative, and x + 0.0 == x for any
+	// non-negative x), so sparse accumulation stays byte-identical to the
+	// reference dense loop while costing ~one add per tree: forest leaves
+	// are overwhelmingly pure, so most rows hold a single entry.
+	// leafRow[id] is the table row for leaf node id (0 for internal nodes)
+	// — consulted once per walk, after the descent ends. Bitwise-identical
+	// distributions share one row, keeping the table cache-resident.
+	rowOff   []int32
+	probaIdx []int32
+	probaVal []float64
+	leafRow  []int32
+
+	classes int
+	trees   int
+	// realNodes is the node count before the power-of-two padding appended
+	// so the evaluators can mask-index nodes without a bounds check.
+	realNodes int
+}
+
+// errEmptyForest and errRaggedForest are the CompileForest failure modes;
+// callers treat either as "serve through the reference pointer walk".
+var (
+	errEmptyForest  = errors.New("ml: cannot compile an empty forest")
+	errRaggedForest = errors.New("ml: cannot compile a forest with mixed leaf-distribution widths")
+)
+
+// CompileForest lowers a fitted forest into its compiled serving form. It
+// fails for ensembles the flat layout cannot represent faithfully — no
+// trees, or leaf distributions of differing widths (impossible for forests
+// trained by Fit, defensive for hand-assembled or corrupted ones) — so
+// callers can fall back to the reference path.
+func CompileForest(f *RandomForest) (*CompiledForest, error) {
+	if f == nil || len(f.trees) == 0 {
+		return nil, errEmptyForest
+	}
+	cf := &CompiledForest{classes: -1, trees: len(f.trees)}
+	nodes := 0
+	for _, t := range f.trees {
+		nodes += countNodes(t.root)
+	}
+	cf.nodes = make([]cnode, 0, nodes)
+	cf.leafRow = make([]int32, 0, nodes)
+	cf.rowOff = []int32{0}
+	cf.roots = make([]int32, 0, len(f.trees))
+	cf.depths = make([]int32, 0, len(f.trees))
+	// Identical leaf distributions (bitwise — overwhelmingly the pure
+	// single-class leaves a forest bottoms out in) share one proba-table
+	// row, which keeps the table small enough to stay cache-resident during
+	// the accumulate pass. Sharing storage of equal values cannot change
+	// any result.
+	lc := compileCtx{cf: cf, dedup: make(map[string]int32)}
+	for _, t := range f.trees {
+		root, depth, err := lc.lower(t.root)
+		if err != nil {
+			return nil, err
+		}
+		cf.roots = append(cf.roots, root)
+		cf.depths = append(cf.depths, depth)
+	}
+	// Pad the node array to a power of two with unreachable self-loops so
+	// the evaluators can index it as nodes[id&mask] with mask = len-1: the
+	// mask is a no-op for every real id, and it lets the compiler prove the
+	// index in bounds, dropping the bounds check from the hottest loop.
+	cf.realNodes = len(cf.nodes)
+	for len(cf.nodes)&(len(cf.nodes)-1) != 0 {
+		id := int32(len(cf.nodes))
+		cf.nodes = append(cf.nodes, cnode{right: id, thresh: math.NaN()})
+		cf.leafRow = append(cf.leafRow, 0)
+	}
+	cf.buildEvalOrder()
+	return cf, nil
+}
+
+// compileCtx carries compile-only state (the leaf-distribution dedup index)
+// that has no place in the immutable serving struct.
+type compileCtx struct {
+	cf    *CompiledForest
+	dedup map[string]int32
+	key   []byte
+}
+
+// probaRow interns one leaf distribution in the shared sparse table and
+// returns its row index, reusing an existing row on a bitwise match. Only the
+// entries whose bits differ from +0.0 are stored: exact positive zeros are
+// the one value whose addition never changes a non-negative accumulator
+// bitwise, so dropping them preserves byte-identity with the dense reference
+// loop (a -0.0 — never produced by Fit, but cheap to honor — is kept).
+func (lc *compileCtx) probaRow(proba []float64) int32 {
+	lc.key = lc.key[:0]
+	for _, v := range proba {
+		lc.key = binary.LittleEndian.AppendUint64(lc.key, math.Float64bits(v))
+	}
+	if row, ok := lc.dedup[string(lc.key)]; ok {
+		return row
+	}
+	cf := lc.cf
+	row := int32(len(cf.rowOff) - 1)
+	for i, v := range proba {
+		if math.Float64bits(v) != 0 {
+			cf.probaIdx = append(cf.probaIdx, int32(i))
+			cf.probaVal = append(cf.probaVal, v)
+		}
+	}
+	cf.rowOff = append(cf.rowOff, int32(len(cf.probaIdx)))
+	lc.dedup[string(lc.key)] = row
+	return row
+}
+
+// batchChunk is the batched evaluator's walk-scratch size: trees are
+// depth-sorted within chunks of this many, walked a chunk at a time into a
+// fixed stack array, and accumulated in original tree order.
+const batchChunk = 64
+
+// buildEvalOrder depth-sorts tree indices within each batchChunk-sized chunk
+// (insertion sort: chunks are tiny and this runs once per compile) and
+// records every tree's slot for the accumulate pass.
+func (cf *CompiledForest) buildEvalOrder() {
+	n := len(cf.roots)
+	order := make([]int32, n)
+	cf.pos = make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	for start := 0; start < n; start += batchChunk {
+		end := min(start+batchChunk, n)
+		ord := order[start:end]
+		for i := 1; i < len(ord); i++ {
+			for j := i; j > 0 && cf.depths[ord[j]] < cf.depths[ord[j-1]]; j-- {
+				ord[j], ord[j-1] = ord[j-1], ord[j]
+			}
+		}
+		for slot, t := range ord {
+			cf.pos[t] = int32(slot)
+		}
+	}
+	cf.evalRoots = make([]int32, n)
+	cf.evalDepths = make([]int32, n)
+	for k, t := range order {
+		cf.evalRoots[k] = cf.roots[t]
+		cf.evalDepths[k] = cf.depths[t]
+	}
+}
+
+func countNodes(n *node) int {
+	if n == nil {
+		return 0
+	}
+	if n.isLeaf() {
+		return 1
+	}
+	return 1 + countNodes(n.left) + countNodes(n.right)
+}
+
+// lower appends one subtree in preorder (parent, left subtree, right
+// subtree — making every left child id+1) and returns its root's node id and
+// edge depth.
+func (lc *compileCtx) lower(n *node) (int32, int32, error) {
+	if n == nil {
+		return 0, 0, errors.New("ml: cannot compile a forest with nil nodes")
+	}
+	cf := lc.cf
+	id := int32(len(cf.nodes))
+	if n.isLeaf() {
+		if cf.classes < 0 {
+			cf.classes = len(n.proba)
+		} else if len(n.proba) != cf.classes {
+			return 0, 0, errRaggedForest
+		}
+		row := lc.probaRow(n.proba)
+		cf.nodes = append(cf.nodes, cnode{feat: 0, right: id, thresh: math.NaN()})
+		cf.leafRow = append(cf.leafRow, row)
+		return id, 0, nil
+	}
+	if math.IsNaN(n.threshold) {
+		// NaN marks leaves in the compiled form; an internal NaN split (never
+		// produced by Fit) cannot be represented faithfully.
+		return 0, 0, errors.New("ml: cannot compile a forest with NaN split thresholds")
+	}
+	cf.nodes = append(cf.nodes, cnode{feat: int32(n.feature), thresh: n.threshold})
+	cf.leafRow = append(cf.leafRow, 0)
+	_, dl, err := lc.lower(n.left) // lands at id+1: the implicit left child
+	if err != nil {
+		return 0, 0, err
+	}
+	r, dr, err := lc.lower(n.right)
+	if err != nil {
+		return 0, 0, err
+	}
+	cf.nodes[id].right = r
+	return id, 1 + max(dl, dr), nil
+}
+
+// NumTrees reports the compiled ensemble size.
+func (cf *CompiledForest) NumTrees() int { return cf.trees }
+
+// NumClasses reports the width of every leaf distribution (and so of every
+// probability vector the compiled forest produces).
+func (cf *CompiledForest) NumClasses() int { return cf.classes }
+
+// NumNodes reports the total flattened node count across all trees
+// (excluding the power-of-two padding records; Bytes includes them).
+func (cf *CompiledForest) NumNodes() int { return cf.realNodes }
+
+// Bytes reports the resident size of the compiled arrays — the serving-index
+// memory an operator pays per compiled model.
+func (cf *CompiledForest) Bytes() int64 {
+	return int64(len(cf.nodes))*16 + int64(len(cf.probaVal))*8 +
+		int64(len(cf.probaIdx)+len(cf.rowOff)+len(cf.leafRow))*4 +
+		int64(len(cf.roots)+len(cf.depths)+len(cf.evalRoots)+len(cf.evalDepths)+len(cf.pos))*4
+}
+
+// leafOf walks one tree for one row and returns the reached leaf's node id.
+// The split select is branchless (CMOV — a split's direction is
+// data-dependent and near 50/50, so a conditional jump there would
+// mispredict on ~half the levels); the only branch is the exit test, which
+// fires once per walk when the node steps onto a leaf's self-loop.
+//
+//vp:hotpath
+func (cf *CompiledForest) leafOf(nodes []cnode, root int32, x []float64) int32 {
+	// nodes is padded to a power of two, so the mask is a no-op for every
+	// real id and proves the index in bounds (no per-step bounds check).
+	if len(nodes) == 0 {
+		return root
+	}
+	mask := len(nodes) - 1
+	n := root
+	for {
+		nd := &nodes[int(n)&mask]
+		next := nd.right
+		if x[nd.feat] <= nd.thresh {
+			next = n + 1 // left child: next record in the preorder layout
+		}
+		if next == n {
+			return n // parked on a leaf self-loop
+		}
+		n = next
+	}
+}
+
+// PredictProbaInto averages member probabilities into out's capacity,
+// byte-identical to RandomForest.PredictProbaInto on the forest this was
+// compiled from: per-tree leaf distributions are accumulated in tree order
+// and divided by the tree count, in the same float operation order. The
+// returned slice is the (possibly grown) buffer. Zero-allocation with a warm
+// buffer, pinned by TestCompiledForestZeroAlloc.
+//
+//vp:hotpath
+func (cf *CompiledForest) PredictProbaInto(x, out []float64) []float64 {
+	if cap(out) < cf.classes {
+		out = make([]float64, cf.classes) //vp:allocok cold first-call growth; steady state reuses out
+	} else {
+		out = out[:cf.classes]
+		clear(out)
+	}
+	nodes := cf.nodes
+	leafRow := cf.leafRow
+	rowOff := cf.rowOff
+	probaIdx := cf.probaIdx
+	probaVal := cf.probaVal
+	for _, root := range cf.roots {
+		row := leafRow[cf.leafOf(nodes, root, x)]
+		for k := rowOff[row]; k < rowOff[row+1]; k++ {
+			out[probaIdx[k]] += probaVal[k]
+		}
+	}
+	for i := range out {
+		out[i] /= float64(cf.trees)
+	}
+	return out
+}
+
+// PredictInto returns the argmax class index and its probability, reusing
+// *proba as the probability scratch — the compiled twin of
+// RandomForest.PredictInto, with identical argmax tie-breaking.
+//
+//vp:hotpath
+func (cf *CompiledForest) PredictInto(x []float64, proba *[]float64) (int, float64) {
+	*proba = cf.PredictProbaInto(x, *proba)
+	best, bestP := 0, -1.0
+	for i, v := range *proba {
+		if v > bestP {
+			best, bestP = i, v
+		}
+	}
+	return best, bestP
+}
+
+// PredictBatchInto evaluates n = len(rows)/stride flows in one call: row r's
+// feature vector is rows[r*stride : r*stride+stride], and its averaged class
+// distribution lands in the returned buffer at [r*NumClasses() :
+// (r+1)*NumClasses()]. Trees are the outer loop, so each tree's packed nodes
+// stay cache-resident while every row traverses them — the batch-over-arena
+// shape that makes one call classify a whole ingest batch. Each row's
+// accumulation still happens in tree order, so per-row results are
+// byte-identical to PredictProbaInto. out is reused via its capacity.
+// Zero-allocation with a warm buffer, pinned by TestCompiledForestZeroAlloc.
+//
+//vp:hotpath
+func (cf *CompiledForest) PredictBatchInto(rows []float64, stride int, out []float64) []float64 {
+	n := 0
+	if stride > 0 {
+		n = len(rows) / stride
+	}
+	need := n * cf.classes
+	if cap(out) < need {
+		out = make([]float64, need) //vp:allocok cold first-call growth; steady state reuses out
+	} else {
+		out = out[:need]
+		clear(out)
+	}
+	nodes := cf.nodes
+	classes := cf.classes
+	roots := cf.roots
+	leafRow := cf.leafRow
+	rowOff := cf.rowOff
+	probaIdx := cf.probaIdx
+	probaVal := cf.probaVal
+	evalRoots := cf.evalRoots
+	evalDepths := cf.evalDepths
+	pos := cf.pos
+	// Each row descends a whole chunk of trees in interleaved lanes: a
+	// single walk is a serial chain of data-dependent node loads (each
+	// level's address depends on the previous), so one chain cannot go
+	// faster than one memory latency per level. Dozens of trees descending
+	// together give the CPU that many independent chains to overlap, while
+	// every chain reads the same feature row, which stays L1-hot for the
+	// whole forest. The inner loop carries no leaf-arrival test — a lane
+	// that bottoms out early parks on its leaf's self-loop, so there is no
+	// unpredictable branch exactly where walks diverge. Instead, trees walk
+	// in the compile-time depth-sorted order (evalOrder): the lanes finished
+	// by step d are always a prefix of the chunk, and advancing lo excludes
+	// them, so no step is spent spinning a finished tree on its self-loop.
+	// The accumulate pass reads leaves back in original tree order through
+	// pos, so per-row results stay byte-identical to PredictProbaInto.
+	if len(nodes) == 0 {
+		return out
+	}
+	mask := len(nodes) - 1 // power-of-two padding: masking proves bounds
+	var cur [batchChunk]int32
+	for r := 0; r < n; r++ {
+		x := rows[r*stride : r*stride+stride]
+		acc := out[r*classes : (r+1)*classes]
+		for start := 0; start < len(roots); start += batchChunk {
+			cn := min(batchChunk, len(roots)-start)
+			gd := evalDepths[start : start+cn]
+			cs := cur[:cn]
+			copy(cs, evalRoots[start:start+cn])
+			// Eight lanes per group live in registers for the whole
+			// descent — no per-level scratch traffic. The group runs to
+			// its deepest member's depth (sorting keeps groupmates
+			// similar, so the padding is small) with no leaf-arrival
+			// test: a lane that bottoms out early parks on its leaf's
+			// self-loop, since every x <= NaN is false.
+			g := 0
+			for ; g+8 <= len(cs); g += 8 {
+				maxd := gd[g+7] // sorted: the group max is the last lane's depth
+				c0, c1, c2, c3 := cs[g], cs[g+1], cs[g+2], cs[g+3]
+				c4, c5, c6, c7 := cs[g+4], cs[g+5], cs[g+6], cs[g+7]
+				for d := int32(0); d < maxd; d++ {
+					nd := &nodes[int(c0)&mask]
+					next := nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c0 + 1 // left child: next record in preorder
+					}
+					c0 = next
+					nd = &nodes[int(c1)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c1 + 1
+					}
+					c1 = next
+					nd = &nodes[int(c2)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c2 + 1
+					}
+					c2 = next
+					nd = &nodes[int(c3)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c3 + 1
+					}
+					c3 = next
+					nd = &nodes[int(c4)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c4 + 1
+					}
+					c4 = next
+					nd = &nodes[int(c5)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c5 + 1
+					}
+					c5 = next
+					nd = &nodes[int(c6)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c6 + 1
+					}
+					c6 = next
+					nd = &nodes[int(c7)&mask]
+					next = nd.right
+					if x[nd.feat] <= nd.thresh {
+						next = c7 + 1
+					}
+					c7 = next
+				}
+				cs[g], cs[g+1], cs[g+2], cs[g+3] = c0, c1, c2, c3
+				cs[g+4], cs[g+5], cs[g+6], cs[g+7] = c4, c5, c6, c7
+			}
+			for ; g < len(cs); g++ { // remainder lanes walk solo
+				cs[g] = cf.leafOf(nodes, cs[g], x)
+			}
+			for _, t := range pos[start : start+cn] {
+				row := leafRow[cur[t]]
+				for k := rowOff[row]; k < rowOff[row+1]; k++ {
+					acc[probaIdx[k]] += probaVal[k]
+				}
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= float64(cf.trees)
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package ml
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// compiledFixture trains a small forest plus its compiled form over a
+// 3-class synthetic dataset.
+func compiledFixture(t testing.TB) (*RandomForest, *CompiledForest, *Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(5, 7))
+	var x [][]float64
+	var labels []string
+	names := []string{"a", "b", "c"}
+	for i := 0; i < 300; i++ {
+		c := i % 3
+		row := make([]float64, 8)
+		for j := range row {
+			row[j] = float64(c)*2 + rng.Float64()*3
+		}
+		x = append(x, row)
+		labels = append(labels, names[c])
+	}
+	d, err := NewDataset(x, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &RandomForest{Config: ForestConfig{NumTrees: 11, MaxDepth: 7, Seed: 9}}
+	f.Fit(d)
+	cf, err := CompileForest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, cf, d
+}
+
+// TestCompiledForestMatchesReference pins that the flat-array evaluation is
+// byte-identical to the pointer walk: same probability vectors, same argmax,
+// for both the per-row and the batched entry points.
+func TestCompiledForestMatchesReference(t *testing.T) {
+	f, cf, d := compiledFixture(t)
+	if cf.NumTrees() != f.NumTrees() || cf.NumClasses() != f.NumClasses() {
+		t.Fatalf("compiled shape (%d trees, %d classes) != reference (%d, %d)",
+			cf.NumTrees(), cf.NumClasses(), f.NumTrees(), f.NumClasses())
+	}
+
+	var refP, cP []float64
+	for ri, row := range d.X {
+		refP = f.PredictProbaInto(row, refP)
+		cP = cf.PredictProbaInto(row, cP)
+		if len(refP) != len(cP) {
+			t.Fatalf("row %d: proba widths differ: %d vs %d", ri, len(refP), len(cP))
+		}
+		for i := range refP {
+			if refP[i] != cP[i] {
+				t.Fatalf("row %d class %d: compiled %v != reference %v", ri, i, cP[i], refP[i])
+			}
+		}
+		wantC, wantConf := f.PredictInto(row, &refP)
+		gotC, gotConf := cf.PredictInto(row, &cP)
+		if wantC != gotC || wantConf != gotConf {
+			t.Fatalf("row %d: compiled argmax (%d, %v) != reference (%d, %v)",
+				ri, gotC, gotConf, wantC, wantConf)
+		}
+	}
+
+	// Batched evaluation over the whole dataset packed into one matrix must
+	// reproduce the per-row results exactly.
+	stride := len(d.X[0])
+	rows := make([]float64, 0, len(d.X)*stride)
+	for _, row := range d.X {
+		rows = append(rows, row...)
+	}
+	out := cf.PredictBatchInto(rows, stride, nil)
+	w := cf.NumClasses()
+	if len(out) != len(d.X)*w {
+		t.Fatalf("batch output has %d values, want %d", len(out), len(d.X)*w)
+	}
+	for ri, row := range d.X {
+		refP = f.PredictProbaInto(row, refP)
+		got := out[ri*w : (ri+1)*w]
+		for i := range refP {
+			if refP[i] != got[i] {
+				t.Fatalf("batch row %d class %d: %v != %v", ri, i, got[i], refP[i])
+			}
+		}
+	}
+}
+
+// TestCompiledForestSurvivesGobRoundTrip pins that compiling a deserialized
+// forest (the vptrain -> registry -> vpserve path) yields the same
+// predictions as compiling the original.
+func TestCompiledForestSurvivesGobRoundTrip(t *testing.T) {
+	f, cf, d := compiledFixture(t)
+	blob, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &RandomForest{}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumClasses() != f.NumClasses() {
+		t.Fatalf("round-trip lost the class count: %d != %d", restored.NumClasses(), f.NumClasses())
+	}
+	rcf, err := CompileForest(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []float64
+	for ri, row := range d.X {
+		a = cf.PredictProbaInto(row, a)
+		b = rcf.PredictProbaInto(row, b)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("row %d class %d: restored-compiled %v != compiled %v", ri, i, b[i], a[i])
+			}
+		}
+	}
+}
+
+// TestCompileForestErrors pins the two refusal modes: an empty ensemble and
+// a hand-assembled one with mixed leaf widths must not compile (callers fall
+// back to the pointer walk).
+func TestCompileForestErrors(t *testing.T) {
+	if _, err := CompileForest(nil); err == nil {
+		t.Error("CompileForest(nil) did not fail")
+	}
+	if _, err := CompileForest(&RandomForest{}); err == nil {
+		t.Error("CompileForest of an untrained forest did not fail")
+	}
+	ragged := &RandomForest{trees: []*DecisionTree{
+		{root: &node{proba: []float64{1}}, classes: 1},
+		{root: &node{proba: []float64{0.5, 0.5}}, classes: 2},
+	}, classes: 2}
+	if _, err := CompileForest(ragged); err == nil {
+		t.Error("CompileForest of a ragged forest did not fail")
+	}
+}
+
+// TestCompiledForestFootprint sanity-checks the ops-facing size accessors.
+func TestCompiledForestFootprint(t *testing.T) {
+	f, cf, _ := compiledFixture(t)
+	if cf.NumNodes() < f.NumTrees() {
+		t.Errorf("NumNodes() = %d, want at least one node per tree (%d)", cf.NumNodes(), f.NumTrees())
+	}
+	if cf.Bytes() <= 0 {
+		t.Errorf("Bytes() = %d, want > 0", cf.Bytes())
+	}
+	// Every node costs at least its feat/left/right entries.
+	if min := int64(cf.NumNodes()) * 12; cf.Bytes() < min {
+		t.Errorf("Bytes() = %d, want >= %d for %d nodes", cf.Bytes(), min, cf.NumNodes())
+	}
+}
+
+// TestCompiledForestZeroAlloc pins the serving budget: warm-scratch
+// prediction — per-row and batched — allocates nothing.
+func TestCompiledForestZeroAlloc(t *testing.T) {
+	_, cf, d := compiledFixture(t)
+	var proba []float64
+	cf.PredictInto(d.X[0], &proba)
+	allocs := testing.AllocsPerRun(100, func() {
+		cf.PredictInto(d.X[0], &proba)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictInto allocates %.1f per call, want 0", allocs)
+	}
+
+	stride := len(d.X[0])
+	rows := make([]float64, 0, 32*stride)
+	for _, row := range d.X[:32] {
+		rows = append(rows, row...)
+	}
+	out := cf.PredictBatchInto(rows, stride, nil)
+	allocs = testing.AllocsPerRun(100, func() {
+		out = cf.PredictBatchInto(rows, stride, out)
+	})
+	if allocs != 0 {
+		t.Errorf("PredictBatchInto allocates %.1f per call, want 0", allocs)
+	}
+}
+
+// TestEmptyForestPredicts pins the satellite fix: an untrained forest
+// reports an explicit empty distribution and a zero-value prediction instead
+// of dividing by a zero tree count.
+func TestEmptyForestPredicts(t *testing.T) {
+	f := &RandomForest{}
+	x := []float64{1, 2, 3}
+	if p := f.PredictProba(x); len(p) != 0 {
+		t.Errorf("PredictProba on an empty forest = %v, want empty", p)
+	}
+	buf := make([]float64, 4)
+	if p := f.PredictProbaInto(x, buf); len(p) != 0 {
+		t.Errorf("PredictProbaInto on an empty forest = %v, want empty", p)
+	}
+	var proba []float64
+	ci, conf := f.PredictInto(x, &proba)
+	if ci != 0 || conf != 0 {
+		t.Errorf("PredictInto on an empty forest = (%d, %v), want (0, 0)", ci, conf)
+	}
+}
+
+// TestPredictProbaIntoSizesOnce pins that the output buffer is sized from
+// the fitted class count up front: an undersized buffer is replaced by one
+// of exactly NumClasses, and an oversized one is reused in place.
+func TestPredictProbaIntoSizesOnce(t *testing.T) {
+	f, _, d := compiledFixture(t)
+	out := f.PredictProbaInto(d.X[0], nil)
+	if len(out) != f.NumClasses() {
+		t.Fatalf("grown buffer has len %d, want %d", len(out), f.NumClasses())
+	}
+	big := make([]float64, 16)
+	reused := f.PredictProbaInto(d.X[0], big)
+	if &reused[0] != &big[0] {
+		t.Error("an oversized buffer was not reused in place")
+	}
+	if len(reused) != f.NumClasses() {
+		t.Errorf("reused buffer has len %d, want %d", len(reused), f.NumClasses())
+	}
+}
+
+// BenchmarkForestInference compares the serving inference forms on a
+// production-shaped ensemble (the paper's depth-20 forests over a wide
+// attribute vector, §4.3.1) — large enough that the pointer-walk's
+// heap-scattered nodes fall out of cache, which is the regime the compiled
+// flat layout exists for. The tests above pin byte-identity on a smaller
+// fixture; this fixture is about ns/flow.
+func BenchmarkForestInference(b *testing.B) {
+	rng := rand.New(rand.NewPCG(11, 13))
+	const (
+		nFeat    = 60
+		nClasses = 12
+		nRows    = 3000
+	)
+	var x [][]float64
+	var labels []string
+	for i := 0; i < nRows; i++ {
+		c := i % nClasses
+		row := make([]float64, nFeat)
+		for j := range row {
+			row[j] = float64((c*j)%7) + rng.Float64()*4
+		}
+		x = append(x, row)
+		labels = append(labels, string(rune('a'+c)))
+	}
+	d, err := NewDataset(x, labels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &RandomForest{Config: ForestConfig{NumTrees: 40, MaxDepth: 20, MaxFeatures: 34, Seed: 1}}
+	f.Fit(d)
+	cf, err := CompileForest(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// All variants classify the same 64-flow working set per iteration —
+	// distinct rows, so no variant gets an unrealistically learned branch
+	// pattern — and report comparable ns/flow.
+	const batch = 64
+	work := d.X[:batch]
+	stride := nFeat
+	rows := make([]float64, 0, batch*stride)
+	for _, row := range work {
+		rows = append(rows, row...)
+	}
+	var proba []float64
+
+	b.Run("pointer-walk", func(b *testing.B) {
+		f.PredictInto(work[0], &proba)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, row := range work {
+				f.PredictInto(row, &proba)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+	})
+	b.Run("compiled", func(b *testing.B) {
+		cf.PredictInto(work[0], &proba)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, row := range work {
+				cf.PredictInto(row, &proba)
+			}
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+	})
+	b.Run("compiled-batch", func(b *testing.B) {
+		out := cf.PredictBatchInto(rows, stride, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out = cf.PredictBatchInto(rows, stride, out)
+		}
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+	})
+}

@@ -23,6 +23,10 @@ type ForestConfig struct {
 type RandomForest struct {
 	Config ForestConfig
 	trees  []*DecisionTree
+	// classes is the fitted class-universe size, set by Fit and
+	// UnmarshalBinary, so prediction buffers are sized once instead of
+	// being re-grown per member tree.
+	classes int
 }
 
 // Fit trains the ensemble on bootstrap samples of d. Training is
@@ -40,6 +44,7 @@ func (f *RandomForest) Fit(d *Dataset) {
 		}
 	}
 	f.trees = make([]*DecisionTree, cfg.NumTrees)
+	f.classes = len(d.Classes)
 
 	workers := runtime.GOMAXPROCS(0)
 	if workers > cfg.NumTrees {
@@ -88,12 +93,21 @@ func (f *RandomForest) PredictProba(x []float64) []float64 {
 //
 //vp:hotpath
 func (f *RandomForest) PredictProbaInto(x, out []float64) []float64 {
-	out = out[:0]
+	if len(f.trees) == 0 {
+		// No members: an explicit empty distribution instead of reaching the
+		// division with a zero tree count.
+		return out[:0]
+	}
+	// Size the output from the fitted class count once, instead of re-growing
+	// it leaf by leaf for every member tree.
+	if cap(out) < f.classes {
+		out = make([]float64, f.classes) //vp:allocok cold first-call growth; steady state reuses out
+	} else {
+		out = out[:f.classes]
+		clear(out)
+	}
 	for _, t := range f.trees {
 		p := t.PredictProba(x)
-		for len(out) < len(p) {
-			out = append(out, 0)
-		}
 		for i, v := range p {
 			out[i] += v
 		}
@@ -111,6 +125,9 @@ func (f *RandomForest) PredictProbaInto(x, out []float64) []float64 {
 //vp:hotpath
 func (f *RandomForest) PredictInto(x []float64, proba *[]float64) (int, float64) {
 	*proba = f.PredictProbaInto(x, *proba)
+	if len(*proba) == 0 {
+		return 0, 0 // untrained forest: explicit zero-value prediction
+	}
 	best, bestP := 0, -1.0
 	for i, v := range *proba {
 		if v > bestP {
@@ -122,3 +139,7 @@ func (f *RandomForest) PredictInto(x []float64, proba *[]float64) (int, float64)
 
 // NumTrees reports the trained ensemble size.
 func (f *RandomForest) NumTrees() int { return len(f.trees) }
+
+// NumClasses reports the fitted class-universe size (the width of every
+// probability vector the forest produces).
+func (f *RandomForest) NumClasses() int { return f.classes }

@@ -83,6 +83,7 @@ func (f *RandomForest) UnmarshalBinary(data []byte) error {
 	}
 	f.Config = ff.Config
 	f.trees = nil
+	f.classes = 0
 	for _, ft := range ff.Trees {
 		root, err := unflatten(ft.Nodes, 0)
 		if err != nil {
@@ -97,6 +98,9 @@ func (f *RandomForest) UnmarshalBinary(data []byte) error {
 			}
 		}
 		f.trees = append(f.trees, &DecisionTree{Config: ft.Config, root: root, classes: nClasses})
+		if nClasses > f.classes {
+			f.classes = nClasses
+		}
 	}
 	return nil
 }

@@ -42,6 +42,8 @@ type Model struct {
 
 	compileOnce sync.Once
 	compiled    *features.CompiledEncoder
+	forestOnce  sync.Once
+	cforest     *ml.CompiledForest
 }
 
 // Predict classifies one handshake's field values (the training/experiments
@@ -61,6 +63,17 @@ func (m *Model) Compiled() *features.CompiledEncoder {
 		m.compiled, _ = features.Compile(m.Encoder)
 	})
 	return m.compiled
+}
+
+// CompiledForest returns the model's serving-path compiled forest, lowering
+// the fitted ensemble into flat node arrays on first use. It returns nil
+// when the forest cannot be compiled (empty or malformed ensembles), in
+// which case callers fall back to the pointer-walking reference path.
+func (m *Model) CompiledForest() *ml.CompiledForest {
+	m.forestOnce.Do(func() {
+		m.cforest, _ = ml.CompileForest(m.Forest)
+	})
+	return m.cforest
 }
 
 // bankKey identifies a model in the bank.
@@ -104,6 +117,17 @@ type bankEntry struct {
 	// cannot be compiled — Classify's Extract+Transform path is the
 	// fallback.
 	shared *features.CompiledEncoder
+	// cplatform/cdevice/cagent are the objectives' compiled serving
+	// forests (flat node arrays); nil when an ensemble did not compile, in
+	// which case prediction falls back to the pointer walk.
+	cplatform, cdevice, cagent *ml.CompiledForest
+}
+
+// batchable reports whether this entry carries every compiled serving form
+// the batched classify pass needs: one shared encode pass plus flat-array
+// forests for all three objectives.
+func (e *bankEntry) batchable() bool {
+	return e.shared != nil && e.cplatform != nil && e.cdevice != nil && e.cagent != nil
 }
 
 // entry returns the serving index entry for a (provider, transport), or nil
@@ -128,6 +152,9 @@ func (b *Bank) entry(prov fingerprint.Provider, tr fingerprint.Transport) *bankE
 				e.platform.Encoder.EquivalentTo(e.agent.Encoder) {
 				e.shared = e.platform.Compiled()
 			}
+			e.cplatform = e.platform.CompiledForest()
+			e.cdevice = e.device.CompiledForest()
+			e.cagent = e.agent.CompiledForest()
 			b.entries[ek] = e
 		}
 	})
@@ -228,6 +255,38 @@ func (b *Bank) Model(prov fingerprint.Provider, tr fingerprint.Transport, obj Ob
 	return b.models[bankKey{prov, tr, obj}]
 }
 
+// CompiledFootprint summarizes the bank's compiled serving index: how many
+// of its models compiled into flat node arrays, their total flattened node
+// count, and the resident bytes those arrays pin. Surfaced through the ops
+// endpoints so operators can see what the compiled fast path costs in
+// memory. Calling it lowers any not-yet-compiled models (cached, so the
+// serving path is unaffected).
+type CompiledFootprint struct {
+	// Models counts the bank's trained models; CompiledModels those whose
+	// forests lowered into the flat serving form (the rest serve through the
+	// pointer-walk fallback).
+	Models         int   `json:"models"`
+	CompiledModels int   `json:"compiled_models"`
+	Nodes          int   `json:"nodes"`
+	Bytes          int64 `json:"bytes"`
+}
+
+// CompiledFootprint reports the bank's compiled serving-index footprint.
+func (b *Bank) CompiledFootprint() CompiledFootprint {
+	var fp CompiledFootprint
+	for _, m := range b.models {
+		fp.Models++
+		cf := m.CompiledForest()
+		if cf == nil {
+			continue
+		}
+		fp.CompiledModels++
+		fp.Nodes += cf.NumNodes()
+		fp.Bytes += cf.Bytes()
+	}
+	return fp
+}
+
 // ConfidenceThreshold is the §4.1 cutoff below which the composite
 // prediction is not trusted.
 const ConfidenceThreshold = 0.8
@@ -294,14 +353,33 @@ func (b *Bank) Classify(prov fingerprint.Provider, tr fingerprint.Transport, v *
 }
 
 // ClassifyScratch holds one worker's reusable classification buffers: the
-// encoded feature vector, the forest probability accumulator, and the
-// compiled encoder's extension-walking scratch. Each pipeline (and thus
-// each shard) owns one, so the steady-state encode+predict path performs no
-// allocations. The zero value is ready to use; not safe for concurrent use.
+// encoded feature vector, the forest probability accumulator, the compiled
+// encoder's extension-walking scratch, and the batched path's row and
+// probability matrices. Each pipeline (and thus each shard) owns one, so the
+// steady-state encode+predict path performs no allocations. The zero value
+// is ready to use; not safe for concurrent use.
 type ClassifyScratch struct {
 	vec   []float64
 	proba []float64
 	enc   features.EncodeScratch
+	// rows is ClassifyBatch's encoded-row matrix (flows × encoder width,
+	// packed back-to-back); bproba is the per-objective batched probability
+	// matrix (flows × class count). Both are reused via their capacity.
+	rows   []float64
+	bproba []float64
+}
+
+// growFloats resizes a scratch buffer to n elements, growing its capacity
+// amortized and zeroing the visible window.
+//
+//vp:hotpath
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]float64, n-cap(s))...) //vp:allocok amortized scratch growth, pinned by TestClassifyBatchZeroAlloc
+	}
+	s = s[:n]
+	clear(s)
+	return s
 }
 
 // ClassifyHandshake classifies an assembled handshake directly — the
@@ -330,11 +408,130 @@ func (b *Bank) ClassifyHandshake(prov fingerprint.Provider, tr fingerprint.Trans
 		sc = &ClassifyScratch{} //vp:allocok cold nil-scratch path for off-path callers
 	}
 	sc.vec = e.shared.EncodeInto(sc.vec, info, &sc.enc)
-	p.Platform, p.PlatformConf, p.PlatformMargin = e.platform.predictIntoMargin(sc.vec, &sc.proba)
-	p.Device, p.DeviceConf = e.device.predictInto(sc.vec, &sc.proba)
-	p.Agent, p.AgentConf = e.agent.predictInto(sc.vec, &sc.proba)
+	p.Platform, p.PlatformConf, p.PlatformMargin = e.platform.predictCompiledMargin(e.cplatform, sc.vec, &sc.proba)
+	p.Device, p.DeviceConf = e.device.predictCompiled(e.cdevice, sc.vec, &sc.proba)
+	p.Agent, p.AgentConf = e.agent.predictCompiled(e.cagent, sc.vec, &sc.proba)
 	p.applySelector()
 	return p, nil
+}
+
+// ClassifyBatch classifies every handshake of one (provider, transport) in a
+// single pass — the batch spine of the compiled serving path. All flows are
+// encoded back-to-back into sc's row matrix, then each objective's compiled
+// forest sweeps the whole matrix with trees as the outer loop, so a tree's
+// flat nodes stay cache-resident while every row traverses them.
+// Per-flow predictions are byte-identical to ClassifyHandshake (pinned by the
+// golden-equivalence tests). out must have len(infos) capacity-visible slots
+// (out[i] receives infos[i]'s prediction). Entries without a full compiled
+// serving form fall back to per-flow ClassifyHandshake. Zero-allocation with
+// a warm scratch, pinned by TestClassifyBatchZeroAlloc.
+//
+//vp:hotpath
+func (b *Bank) ClassifyBatch(prov fingerprint.Provider, tr fingerprint.Transport, infos []*features.HandshakeInfo, sc *ClassifyScratch, out []Prediction) error {
+	if len(infos) == 0 {
+		return nil
+	}
+	e := b.entry(prov, tr)
+	if e == nil {
+		return fmt.Errorf("pipeline: no models for %s/%s", prov, tr) //vp:allocok cold no-models error path
+	}
+	if sc == nil {
+		sc = &ClassifyScratch{} //vp:allocok cold nil-scratch path for off-path callers
+	}
+	if !e.batchable() {
+		// Missing a compiled encoder or forest: serve each flow through the
+		// per-flow path, which applies its own fallbacks.
+		for i, info := range infos {
+			p, err := b.ClassifyHandshake(prov, tr, info, sc)
+			if err != nil {
+				return err
+			}
+			out[i] = p
+		}
+		return nil
+	}
+	stride := e.shared.Width()
+	sc.rows = growFloats(sc.rows, len(infos)*stride)
+	for i, info := range infos {
+		e.shared.EncodeInto(sc.rows[i*stride:i*stride:(i+1)*stride], info, &sc.enc)
+	}
+	e.classifyRows(sc, len(infos), stride, out)
+	return nil
+}
+
+// classifyRows runs the three batched objective passes over an encoded row
+// matrix and fills out[:n] with selector-applied predictions.
+//
+//vp:hotpath
+func (e *bankEntry) classifyRows(sc *ClassifyScratch, n, stride int, out []Prediction) {
+	rows := sc.rows[:n*stride]
+
+	sc.bproba = e.cplatform.PredictBatchInto(rows, stride, sc.bproba)
+	w := e.cplatform.NumClasses()
+	for i := 0; i < n; i++ {
+		proba := sc.bproba[i*w : (i+1)*w]
+		ci, conf := argmaxProba(proba)
+		out[i] = Prediction{
+			Platform:       e.platform.Classes[ci],
+			PlatformConf:   conf,
+			PlatformMargin: probaMargin(proba, ci, conf),
+		}
+	}
+
+	sc.bproba = e.cdevice.PredictBatchInto(rows, stride, sc.bproba)
+	w = e.cdevice.NumClasses()
+	for i := 0; i < n; i++ {
+		ci, conf := argmaxProba(sc.bproba[i*w : (i+1)*w])
+		out[i].Device = e.device.Classes[ci]
+		out[i].DeviceConf = conf
+	}
+
+	sc.bproba = e.cagent.PredictBatchInto(rows, stride, sc.bproba)
+	w = e.cagent.NumClasses()
+	for i := 0; i < n; i++ {
+		ci, conf := argmaxProba(sc.bproba[i*w : (i+1)*w])
+		out[i].Agent = e.agent.Classes[ci]
+		out[i].AgentConf = conf
+		out[i].applySelector()
+	}
+}
+
+// argmaxProba returns the winning class index and probability with the same
+// tie-breaking as RandomForest.PredictInto (first strict maximum wins).
+//
+//vp:hotpath
+func argmaxProba(proba []float64) (int, float64) {
+	best, bestP := 0, -1.0
+	for i, v := range proba {
+		if v > bestP {
+			best, bestP = i, v
+		}
+	}
+	return best, bestP
+}
+
+// predictCompiled predicts over an already-encoded vector through the
+// compiled forest, falling back to the pointer walk when the ensemble did
+// not compile. Both paths are byte-identical.
+//
+//vp:hotpath
+func (m *Model) predictCompiled(cf *ml.CompiledForest, x []float64, proba *[]float64) (string, float64) {
+	if cf == nil {
+		return m.predictInto(x, proba) //vp:allocok cold fallback when forest did not compile
+	}
+	ci, conf := cf.PredictInto(x, proba)
+	return m.Classes[ci], conf
+}
+
+// predictCompiledMargin is predictCompiled plus the top-1/top-2 margin.
+//
+//vp:hotpath
+func (m *Model) predictCompiledMargin(cf *ml.CompiledForest, x []float64, proba *[]float64) (string, float64, float64) {
+	if cf == nil {
+		return m.predictIntoMargin(x, proba) //vp:allocok cold fallback when forest did not compile
+	}
+	ci, conf := cf.PredictInto(x, proba)
+	return m.Classes[ci], conf, probaMargin(*proba, ci, conf)
 }
 
 // predictInto is Predict over an already-encoded vector with caller-owned

@@ -87,6 +87,55 @@ func checkBankEquivalence(t *testing.T, bank *Bank, flows []*tracegen.FlowTrace,
 				tag, fi, ft.Label, fast, ref)
 		}
 	}
+
+	checkBatchEquivalence(t, bank, flows, tag)
+}
+
+// checkBatchEquivalence groups the evaluation flows per (provider,
+// transport) and pins that one ClassifyBatch sweep reproduces every per-flow
+// ClassifyHandshake prediction byte for byte — including PlatformMargin,
+// which rides the same probability vector.
+func checkBatchEquivalence(t *testing.T, bank *Bank, flows []*tracegen.FlowTrace, tag string) {
+	t.Helper()
+	type group struct {
+		infos []*features.HandshakeInfo
+		want  []Prediction
+	}
+	groups := map[entryKey]*group{}
+	var sc ClassifyScratch
+	for _, ft := range flows {
+		info, err := ExtractTrace(ft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := bank.ClassifyHandshake(ft.Provider, ft.Transport, info, &sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := entryKey{ft.Provider, ft.Transport}
+		g := groups[k]
+		if g == nil {
+			g = &group{}
+			groups[k] = g
+		}
+		g.infos = append(g.infos, info)
+		g.want = append(g.want, want)
+	}
+	for k, g := range groups {
+		if e := bank.entry(k.Provider, k.Transport); e == nil || !e.batchable() {
+			t.Fatalf("%s: %s/%s entry is not batchable", tag, k.Provider, k.Transport)
+		}
+		out := make([]Prediction, len(g.infos))
+		if err := bank.ClassifyBatch(k.Provider, k.Transport, g.infos, &sc, out); err != nil {
+			t.Fatal(err)
+		}
+		for i, want := range g.want {
+			if out[i] != want {
+				t.Fatalf("%s: %s/%s batch flow %d diverges:\nbatch:    %+v\nper-flow: %+v",
+					tag, k.Provider, k.Transport, i, out[i], want)
+			}
+		}
+	}
 }
 
 func TestCompiledBankGoldenEquivalence(t *testing.T) {
@@ -181,6 +230,86 @@ func TestBankReloadRebuildsServingIndex(t *testing.T) {
 	}
 }
 
+// TestBankReloadRebuildsCompiledForests pins that an in-place reload (the
+// hot-swap UnmarshalBinary path) rebuilds the compiled serving forests
+// around the freshly decoded models: the entry's flat-array forests must
+// belong to the post-reload models, not the pre-reload ones.
+func TestBankReloadRebuildsCompiledForests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	blob, err := goldenBank(t).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &Bank{}
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	old := b.entry(fingerprint.YouTube, fingerprint.TCP)
+	if old == nil || !old.batchable() {
+		t.Fatal("pre-reload entry did not compile")
+	}
+	oldModel := b.Model(fingerprint.YouTube, fingerprint.TCP, PlatformObjective)
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err) // in-place reload: new *Model instances
+	}
+	e := b.entry(fingerprint.YouTube, fingerprint.TCP)
+	if e == nil || !e.batchable() {
+		t.Fatal("post-reload entry did not compile")
+	}
+	m := b.Model(fingerprint.YouTube, fingerprint.TCP, PlatformObjective)
+	if m == oldModel {
+		t.Fatal("reload did not replace the models")
+	}
+	if e.cplatform != m.CompiledForest() {
+		t.Error("serving index still carries the pre-reload compiled platform forest")
+	}
+	if e.cplatform == old.cplatform {
+		t.Error("compiled platform forest was not rebuilt for the reloaded model")
+	}
+	fp := b.CompiledFootprint()
+	if fp.CompiledModels != fp.Models || fp.Nodes == 0 || fp.Bytes == 0 {
+		t.Errorf("post-reload footprint looks wrong: %+v", fp)
+	}
+}
+
+// TestClassifyBatchZeroAlloc pins the batched serving budget: with warm
+// scratch matrices, a whole-group encode+classify sweep allocates nothing.
+func TestClassifyBatchZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	for _, tr := range []fingerprint.Transport{fingerprint.TCP, fingerprint.QUIC} {
+		infos := make([]*features.HandshakeInfo, 0, 8)
+		for i := 0; i < 8; i++ {
+			ft, err := tracegen.New(uint64(20+i)).Flow("windows_chrome", fingerprint.YouTube, tr, tracegen.FlowSpec{PayloadFrames: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			info, err := ExtractTrace(ft)
+			if err != nil {
+				t.Fatal(err)
+			}
+			infos = append(infos, info)
+		}
+		var sc ClassifyScratch
+		out := make([]Prediction, len(infos))
+		if err := bank.ClassifyBatch(fingerprint.YouTube, tr, infos, &sc, out); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := bank.ClassifyBatch(fingerprint.YouTube, tr, infos, &sc, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: ClassifyBatch allocates %.1f per call, want 0", tr, allocs)
+		}
+	}
+}
+
 // TestClassifyHandshakeZeroAlloc pins the serving-path budget: with a warm
 // per-worker scratch, encode+predict allocates nothing.
 func TestClassifyHandshakeZeroAlloc(t *testing.T) {
@@ -213,7 +342,9 @@ func TestClassifyHandshakeZeroAlloc(t *testing.T) {
 	}
 }
 
-func BenchmarkClassifyHandshake(b *testing.B) {
+// benchBankAndFlow trains a bench bank and one QUIC YouTube flow.
+func benchBankAndFlow(b *testing.B) (*Bank, *features.HandshakeInfo) {
+	b.Helper()
 	ds, err := tracegen.New(1).LabDataset(0.04, fingerprint.Options{})
 	if err != nil {
 		b.Fatal(err)
@@ -230,17 +361,73 @@ func BenchmarkClassifyHandshake(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var sc ClassifyScratch
-	// Warm the lazily built entry index, compiled tables and scratch so the
-	// timed region measures the steady state (which must be 0 allocs/op).
-	if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
+	return bank, info
+}
+
+// BenchmarkClassifyHandshake measures the per-flow serving path in its three
+// forms: compiled flat-array forests (the production path), the pointer-walk
+// reference (compiled index stripped), and the batched sweep (amortized
+// per-flow cost at batch size 64). All must report 0 allocs/op.
+func BenchmarkClassifyHandshake(b *testing.B) {
+	b.Run("compiled", func(b *testing.B) {
+		bank, info := benchBankAndFlow(b)
+		var sc ClassifyScratch
+		// Warm the lazily built entry index, compiled tables and scratch so
+		// the timed region measures the steady state (0 allocs/op).
 		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
 			b.Fatal(err)
 		}
-	}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("pointer-walk", func(b *testing.B) {
+		bank, info := benchBankAndFlow(b)
+		var sc ClassifyScratch
+		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+			b.Fatal(err)
+		}
+		// Strip the compiled forests so prediction takes the reference
+		// pointer-walk fallback — the pre-compilation baseline.
+		e := bank.entry(fingerprint.YouTube, fingerprint.QUIC)
+		e.cplatform, e.cdevice, e.cagent = nil, nil, nil
+		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		bank, info := benchBankAndFlow(b)
+		const batch = 64
+		infos := make([]*features.HandshakeInfo, batch)
+		for i := range infos {
+			infos[i] = info
+		}
+		var sc ClassifyScratch
+		out := make([]Prediction, batch)
+		if err := bank.ClassifyBatch(fingerprint.YouTube, fingerprint.QUIC, infos, &sc, out); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bank.ClassifyBatch(fingerprint.YouTube, fingerprint.QUIC, infos, &sc, out); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// ns/flow comparability with the per-flow variants.
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+	})
 }

@@ -134,7 +134,13 @@ type flowState struct {
 	asm       hsAssembler    // incremental handshake assembly state
 	clientKey packet.FlowKey // direction of the initiating packet
 	done      bool           // classification finished (or rejected)
-	span      *obs.Span      // lifecycle trace, non-nil only for sampled flows
+	// pendingClassify marks a flow whose completed handshake sits in the
+	// batch-mode deferred-classification queue awaiting flushBatch. Cleared
+	// by the flush, or by the eviction hook for flows evicted mid-batch (the
+	// flush then skips them; their record was already delivered to OnEvict
+	// with an honest VerdictPending).
+	pendingClassify bool
+	span            *obs.Span // lifecycle trace, non-nil only for sampled flows
 }
 
 // Config bounds a Pipeline's flow table for long-running deployments.
@@ -198,6 +204,13 @@ type Config struct {
 	// flow ran and how deep its shard's inbox was at admission.
 	shardID    int
 	queueDepth func() int
+	// batched, set by NewShardedWithConfig, defers each completed
+	// handshake's classification to the end of its ingest batch so one
+	// Bank.ClassifyBatch call sweeps every completed flow of the batch
+	// through the compiled forests (trees outer, rows inner — see
+	// ml.CompiledForest.PredictBatchInto). The shard worker calls flushBatch
+	// after replaying each batch's frames, before the batch arena recycles.
+	batched bool
 }
 
 // DefaultMaxHelloBytes bounds per-flow buffered handshake bytes when
@@ -239,6 +252,13 @@ type Pipeline struct {
 	// for a plain (unsharded) pipeline.
 	batchQueueWait int64
 
+	// pending holds batch mode's deferred classifications, grouped per
+	// (provider, transport) so each group flushes through one
+	// Bank.ClassifyBatch call. Owned by the single goroutine calling
+	// handleKeyed/flushBatch; group capacity is reused across batches so the
+	// steady state never allocates.
+	pending []pendingGroup
+
 	// Stats counters.
 	Packets, VideoPackets, ClassifiedFlows, UnknownFlows int
 }
@@ -254,7 +274,14 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
 		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
 			p.finishSpan(st, "evicted")
-			if st.rec.Verdict == VerdictPending {
+			switch {
+			case st.pendingClassify:
+				// Evicted between batch-mode deferral and flushBatch: the
+				// handshake completed but was never classified. Clearing the
+				// mark tells the flush to skip this flow; the record leaves
+				// with an honest VerdictPending.
+				st.pendingClassify = false
+			case st.rec.Verdict == VerdictPending:
 				// Evicted before the handshake resolved: the classifier
 				// never saw this flow.
 				st.rec.Verdict = VerdictNoHandshake
@@ -442,18 +469,41 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		st.rec.Transport = fingerprint.QUIC
 	}
 
+	if p.cfg.batched {
+		// Batch mode: park the completed handshake until the shard worker
+		// flushes the batch, so one compiled-forest sweep classifies every
+		// completed flow of the batch together. st.asm keeps owning the
+		// handshake bytes (info aliases them) until finishClassification.
+		p.deferClassify(st, prov, info)
+		return nil, nil
+	}
+
 	bank := p.bank.Load() // one load: the whole classification uses one bank
 	var clStart time.Time
 	if timed {
 		clStart = time.Now()
 	}
 	pred, err := bank.ClassifyHandshake(prov, st.rec.Transport, info, &p.scratch)
+	var nanos int64
 	if timed {
-		d := time.Since(clStart)
-		p.cfg.Observer.Record(obs.StageClassify, d)
-		st.rec.ClassifyNanos = int64(d)
+		nanos = int64(time.Since(clStart))
+	}
+	return p.finishClassification(st, info, pred, err, bank, nanos)
+}
+
+// finishClassification applies one flow's classification outcome: latency
+// attribution, verdict accounting, span completion, the OnClassify hook, and
+// the release of the flow's buffered handshake bytes. Shared by the
+// immediate (per-flow) path and flushBatch, so the two modes cannot drift.
+// nanos is the flow's attributed classification time (zero when latency
+// observation is off). Returns the completed record exactly when the flow
+// classified without error.
+func (p *Pipeline) finishClassification(st *flowState, info *features.HandshakeInfo, pred Prediction, err error, bank *Bank, nanos int64) (*FlowRecord, error) {
+	if nanos > 0 {
+		p.cfg.Observer.Record(obs.StageClassify, time.Duration(nanos))
+		st.rec.ClassifyNanos = nanos
 		if st.span != nil {
-			st.span.ClassifyNS += int64(d)
+			st.span.ClassifyNS += nanos
 		}
 	}
 	st.done = true
@@ -490,6 +540,109 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	}
 	st.asm = hsAssembler{} // release only after the hook: info aliases it
 	return &out, nil
+}
+
+// pendingGroup accumulates one (provider, transport)'s deferred
+// classifications within the current ingest batch. flows and infos are
+// parallel; preds is the ClassifyBatch output matrix. All slices keep their
+// capacity across batches.
+type pendingGroup struct {
+	prov  fingerprint.Provider
+	tr    fingerprint.Transport
+	flows []*flowState
+	infos []*features.HandshakeInfo
+	preds []Prediction
+}
+
+// deferClassify parks a completed handshake in its (provider, transport)
+// group for the end-of-batch flush. The flow is marked done so later frames
+// of the same batch skip handshake work, exactly as after an immediate
+// classification.
+func (p *Pipeline) deferClassify(st *flowState, prov fingerprint.Provider, info *features.HandshakeInfo) {
+	g := p.pendingFor(prov, st.rec.Transport)
+	g.flows = append(g.flows, st)
+	g.infos = append(g.infos, info)
+	st.done = true
+	st.pendingClassify = true
+}
+
+// pendingFor returns the current batch's group for a (provider, transport),
+// reviving retired group capacity before growing the slice. The group count
+// is bounded by providers × transports, so the linear scan stays trivial.
+func (p *Pipeline) pendingFor(prov fingerprint.Provider, tr fingerprint.Transport) *pendingGroup {
+	for i := range p.pending {
+		g := &p.pending[i]
+		if g.prov == prov && g.tr == tr {
+			return g
+		}
+	}
+	if len(p.pending) < cap(p.pending) {
+		p.pending = p.pending[:len(p.pending)+1]
+	} else {
+		p.pending = append(p.pending, pendingGroup{})
+	}
+	g := &p.pending[len(p.pending)-1]
+	g.prov, g.tr = prov, tr
+	g.flows = g.flows[:0]
+	g.infos = g.infos[:0]
+	return g
+}
+
+// growPreds resizes a prediction matrix to n rows, reusing capacity.
+func growPreds(s []Prediction, n int) []Prediction {
+	if cap(s) < n {
+		s = append(s[:cap(s)], make([]Prediction, n-cap(s))...)
+	}
+	return s[:n]
+}
+
+// flushBatch classifies every deferred handshake of the just-replayed ingest
+// batch, one Bank.ClassifyBatch sweep per (provider, transport) group, and
+// hands completed records to deliver. Called by the owning shard worker
+// after a batch's frames and before the batch arena recycles (the deferred
+// HandshakeInfos alias flow-owned buffers, not the arena, but flushing per
+// batch keeps deferral latency at one batch). The batch's classify time is
+// attributed evenly across its flows. No-op when nothing was deferred.
+func (p *Pipeline) flushBatch(deliver func(*FlowRecord)) {
+	if len(p.pending) == 0 {
+		return
+	}
+	bank := p.bank.Load() // one load: the whole flush uses one bank
+	timed := p.cfg.Observer != nil || p.cfg.Tracer != nil
+	for gi := range p.pending {
+		g := &p.pending[gi]
+		n := len(g.flows)
+		if n == 0 {
+			continue
+		}
+		g.preds = growPreds(g.preds, n)
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		err := bank.ClassifyBatch(g.prov, g.tr, g.infos, &p.scratch, g.preds)
+		var per int64
+		if timed {
+			per = int64(time.Since(start)) / int64(n)
+		}
+		for i, st := range g.flows {
+			if !st.pendingClassify {
+				continue // evicted between deferral and flush
+			}
+			st.pendingClassify = false
+			rec, ferr := p.finishClassification(st, g.infos[i], g.preds[i], err, bank, per)
+			if ferr == nil && rec != nil && deliver != nil {
+				deliver(rec)
+			}
+		}
+		// Release the flow-state and handshake pointers so retired groups
+		// never pin evicted flows past the flush.
+		clear(g.flows)
+		g.flows = g.flows[:0]
+		clear(g.infos)
+		g.infos = g.infos[:0]
+	}
+	p.pending = p.pending[:0]
 }
 
 // noteQueueWait records how long the batch about to be replayed waited in

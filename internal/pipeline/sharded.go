@@ -183,11 +183,16 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 		shCfg := cfg
 		shCfg.shardID = i
 		shCfg.queueDepth = func() int { return len(in) }
+		// Shard workers classify in batch mode: completed handshakes are
+		// deferred during frame replay and flushed through one compiled
+		// ClassifyBatch sweep per (provider, transport) at batch end.
+		shCfg.batched = true
 		sh := &shard{in: in, p: NewWithConfig(bank, shCfg)}
 		s.shards = append(s.shards, sh)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			deliver := s.deliver // one method-value closure per worker, not per batch
 			for msg := range sh.in {
 				if msg.snap != nil {
 					msg.snap <- sh.p.Flows()
@@ -206,6 +211,9 @@ func NewShardedWithConfig(bank *Bank, n int, cfg Config) *Sharded {
 						s.deliver(rec)
 					}
 				}
+				// Classify the batch's deferred handshakes before the arena
+				// recycles, one compiled sweep per (provider, transport).
+				sh.p.flushBatch(deliver)
 				// The pipeline copies anything it retains, so the arena is
 				// dead here and the whole batch recycles in one pool op.
 				s.batchPool.Put(b)

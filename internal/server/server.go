@@ -718,6 +718,10 @@ type ModelsStats struct {
 	Versions int `json:"versions,omitempty"`
 	// Retrainer is the auto-retrain loop's state, when one is running.
 	Retrainer *registry.Status `json:"retrainer,omitempty"`
+	// Compiled is the serving bank's compiled-forest footprint: how many
+	// models lowered into flat node arrays, their flattened node count, and
+	// the resident bytes the compiled serving index pins.
+	Compiled pipeline.CompiledFootprint `json:"compiled"`
 }
 
 // Snapshot assembles the current Stats. Safe from any goroutine.
@@ -778,6 +782,7 @@ func (s *Server) Snapshot() Stats {
 
 	st.Models.ActiveVersion = s.activeVersion()
 	st.Models.Swaps = s.swaps.Load()
+	st.Models.Compiled = s.sharded.Bank().CompiledFootprint()
 	if s.cfg.Registry != nil {
 		st.Models.Versions = len(s.cfg.Registry.List())
 	}
@@ -904,11 +909,17 @@ func (s *Server) activeVersion() string {
 // it still reports the serving bank's identity, with an empty history.
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	out := struct {
-		Active   string              `json:"active"`
-		Swaps    uint64              `json:"swaps"`
-		History  []string            `json:"history,omitempty"`
-		Versions []registry.Manifest `json:"versions"`
-	}{Active: s.activeVersion(), Swaps: s.swaps.Load(), Versions: []registry.Manifest{}}
+		Active   string                     `json:"active"`
+		Swaps    uint64                     `json:"swaps"`
+		Compiled pipeline.CompiledFootprint `json:"compiled"`
+		History  []string                   `json:"history,omitempty"`
+		Versions []registry.Manifest        `json:"versions"`
+	}{
+		Active:   s.activeVersion(),
+		Swaps:    s.swaps.Load(),
+		Compiled: s.sharded.Bank().CompiledFootprint(),
+		Versions: []registry.Manifest{},
+	}
 	if s.cfg.Registry != nil {
 		out.History = s.cfg.Registry.History()
 		out.Versions = s.cfg.Registry.List()
