@@ -4,8 +4,10 @@ import (
 	"flag"
 	"os"
 	"regexp"
+	"strings"
 	"testing"
 
+	"videoplat/internal/pipeline"
 	"videoplat/internal/server"
 )
 
@@ -57,6 +59,34 @@ func TestOperationsDocCoversEndpoints(t *testing.T) {
 	for _, pattern := range endpoints {
 		if !regexp.MustCompile("`" + regexp.QuoteMeta(pattern) + "`").MatchString(doc) {
 			t.Errorf("endpoint %q is not documented in docs/OPERATIONS.md (add a `%s` section)", pattern, pattern)
+		}
+	}
+}
+
+func TestOperationsDocCoversVerdicts(t *testing.T) {
+	doc := operationsDoc(t)
+	start := strings.Index(doc, "## Flow verdicts")
+	if start < 0 {
+		t.Fatal("docs/OPERATIONS.md has no \"## Flow verdicts\" section")
+	}
+	section := doc[start:]
+	if end := strings.Index(section[2:], "\n## "); end >= 0 {
+		section = section[:end+2]
+	}
+
+	taxonomy := map[string]bool{}
+	for _, name := range pipeline.VerdictNames() {
+		taxonomy[name] = true
+		if !regexp.MustCompile("(?m)^\\| `" + regexp.QuoteMeta(name) + "` \\|").MatchString(section) {
+			t.Errorf("verdict %q is not documented in the Flow verdicts table (add a `%s` row)", name, name)
+		}
+	}
+
+	// Reverse: every row in the table must name a live verdict, so renames
+	// and removals can't leave stale documentation.
+	for _, m := range regexp.MustCompile("(?m)^\\| `([a-z0-9-]+)` \\|").FindAllStringSubmatch(section, -1) {
+		if !taxonomy[m[1]] {
+			t.Errorf("Flow verdicts table documents %q, which is not in pipeline.VerdictNames()", m[1])
 		}
 	}
 }

@@ -97,6 +97,10 @@ type options struct {
 	saveOnExit  string
 	driftAfter  int
 
+	adversarial    float64
+	earlyMinMargin float64
+	noProviderHint bool
+
 	logFormat string
 	version   bool
 }
@@ -143,6 +147,9 @@ func registerFlags(fs *flag.FlagSet) *options {
 	fs.Float64Var(&o.shadowAgree, "shadow-agreement", 0.5, "minimum candidate/active agreement on flows both predict confidently (0 = gate default 0.5, negative disables)")
 	fs.StringVar(&o.saveOnExit, "save-on-exit", "", "write the bank active at shutdown to this file (captures retrained banks)")
 	fs.IntVar(&o.driftAfter, "synth-drift-after", 0, "inject open-set platform drift after N synthetic sessions (0 = never)")
+	fs.Float64Var(&o.adversarial, "synth-adversarial", 0, "fraction of synthetic sessions rendered with an adversarial handshake scenario: ECH, QUIC 0-RTT or connection migration (0 = none)")
+	fs.Float64Var(&o.earlyMinMargin, "early-min-margin", 0, "platform-margin floor for degraded classification of ECH/0-RTT flows (0 = default 0.10, negative = accept any margin)")
+	fs.BoolVar(&o.noProviderHint, "no-provider-hint", false, "disable the synthetic IP-to-provider hint; ECH and 0-RTT flows then always abstain")
 
 	fs.StringVar(&o.logFormat, "log-format", "text", "structured log output format: text or json")
 	fs.BoolVar(&o.version, "version", false, "print build identification and exit")
@@ -241,9 +248,12 @@ func main() {
 		exitOn(err)
 		slog.Info("replaying capture", "pcap", o.pcapPath)
 	default:
-		src = server.NewDriftingSynthSource(o.seed, o.synth, o.driftAfter)
+		synth := server.NewDriftingSynthSource(o.seed, o.synth, o.driftAfter)
+		synth.SetAdversarial(o.adversarial)
+		src = synth
 		slog.Info("generating synthetic traffic",
-			"sessions", sessionsDesc(o.synth), "drift_after", o.driftAfter)
+			"sessions", sessionsDesc(o.synth), "drift_after", o.driftAfter,
+			"adversarial", o.adversarial)
 	}
 
 	var sink telemetry.Sink
@@ -258,6 +268,14 @@ func main() {
 	exitOn(err)
 	defer closeStore()
 
+	// The synthetic stand-in for the deployment's IP-to-CDN knowledge: the
+	// generator's provider address plan is the hint. A real tap would plug
+	// in its prefix database here.
+	providerHint := tracegen.ProviderOfAddr
+	if o.noProviderHint {
+		providerHint = nil
+	}
+
 	srv, err := server.New(bank, src, server.Config{
 		Addr:            o.addr,
 		Shards:          o.shards,
@@ -269,6 +287,8 @@ func main() {
 		ShardQueueDepth: o.shardQueue,
 		ResultsBuffer:   o.resultsBuf,
 		MaxHelloBytes:   o.maxHello,
+		EarlyMinMargin:  o.earlyMinMargin,
+		ProviderHint:    providerHint,
 		Sink:            sink,
 		Store:           store,
 		Registry:        reg,

@@ -45,6 +45,23 @@ type Options struct {
 	// ManagementFlow generates the step-1 flow to the provider's management
 	// server instead of a content-server flow.
 	ManagementFlow bool
+
+	// ECH renders an Encrypted ClientHello flow: the hello carries a
+	// GREASE-ECH extension and its visible server_name is a neutral
+	// fronting public name. Flow.SNI keeps the real (inner) provider
+	// hostname as ground truth, but that name never appears on the wire —
+	// an observer sees only the fronted outer hello.
+	ECH bool
+	// ZeroRTT renders a session-resumption flow. For QUIC the trace
+	// generator emits 0-RTT early-data packets and no fresh Initial, so no
+	// ClientHello is observable at all; for TCP the hello carries
+	// early_data + pre_shared_key (a resumption hello, still parseable).
+	ZeroRTT bool
+	// Migration marks the flow for mid-stream connection migration: the
+	// trace generator changes the client's 5-tuple partway through a QUIC
+	// flow. It does not alter the handshake itself and is ignored for TCP
+	// (which has no migration concept).
+	Migration bool
 }
 
 // Generate draws one flow for the platform with the given label. It returns
@@ -145,7 +162,18 @@ func buildHello(rng *rand.Rand, tls *TLSProfile, p *Profile, f *Flow, prov Provi
 	alpn = providerALPN(alpn, prov, p.Key)
 
 	ticket := rng.Float64() < tls.TicketProb
-	psk := rng.Float64() < tls.PSKProb
+	// A 0-RTT resumption always presents its ticket; otherwise the profile's
+	// resumption probability applies (the draw is kept either way so the
+	// knob does not shift later draws).
+	psk := rng.Float64() < tls.PSKProb || opts.ZeroRTT
+
+	// The on-wire server_name: the real hostname, or — with ECH — a neutral
+	// fronting public name while the real name hides in the encrypted inner
+	// hello.
+	sni := f.SNI
+	if opts.ECH {
+		sni = echOuterName(rng)
+	}
 
 	order := tls.Extensions
 	if tls.ShuffleExts {
@@ -159,7 +187,7 @@ func buildHello(rng *rand.Rand, tls *TLSProfile, p *Profile, f *Flow, prov Provi
 	for _, typ := range order {
 		switch typ {
 		case tlsproto.ExtServerName:
-			exts = append(exts, tlsproto.Extension{Type: typ, Data: tlsproto.ServerNameData(f.SNI)})
+			exts = append(exts, tlsproto.Extension{Type: typ, Data: tlsproto.ServerNameData(sni)})
 		case tlsproto.ExtExtendedMasterSecret:
 			if tr == TCP { // TLS 1.3-over-QUIC clients drop EMS
 				exts = append(exts, tlsproto.Extension{Type: typ})
@@ -242,6 +270,11 @@ func buildHello(rng *rand.Rand, tls *TLSProfile, p *Profile, f *Flow, prov Provi
 		exts = append(exts, tlsproto.Extension{Type: tlsproto.ExtPreSharedKey, Data: pskData})
 	}
 
+	if opts.ECH {
+		exts = append(exts, tlsproto.Extension{
+			Type: tlsproto.ExtEncryptedClientHello, Data: buildECHData(rng)})
+	}
+
 	if tr == QUIC {
 		tp := buildTransportParams(rng, p.QUIC, f)
 		exts = append(exts, tlsproto.Extension{Type: tlsproto.ExtQUICTransportParams, Data: tp.Marshal()})
@@ -271,6 +304,37 @@ func buildPSKData(rng *rand.Rand, idLen int) []byte {
 	// binders: u16 list of (u8 len, binder)
 	out = append(out, 0, 33, 32)
 	out = append(out, randBytes(rng, 32)...)
+	return out
+}
+
+// echOuterName draws the fronting public name an ECH outer hello presents
+// instead of the real SNI — the shared CDN front-ends real deployments use,
+// deliberately matching no video provider.
+func echOuterName(rng *rand.Rand) string {
+	fronts := [...]string{
+		"cloudflare-ech.com",
+		"public.ech-front.net",
+		"cdn-front.fastly-edge.com",
+	}
+	return fronts[rng.IntN(len(fronts))]
+}
+
+// buildECHData renders a plausible encrypted_client_hello extension payload
+// (ECHClientHello, outer variant): HPKE cipher suite, config id, a 32-byte
+// X25519 encapsulated key and an opaque ciphertext sized like a real inner
+// hello. Observers (and our parsers) treat the payload as opaque.
+func buildECHData(rng *rand.Rand) []byte {
+	encLen := 32
+	payloadLen := 100 + rng.IntN(101)
+	out := make([]byte, 0, 1+4+1+2+encLen+2+payloadLen)
+	out = append(out, 0)          // type: outer
+	out = append(out, 0x00, 0x01) // kdf: HKDF-SHA256
+	out = append(out, 0x00, 0x01) // aead: AES-128-GCM
+	out = append(out, byte(rng.UintN(256)))
+	out = append(out, byte(encLen>>8), byte(encLen))
+	out = append(out, randBytes(rng, encLen)...)
+	out = append(out, byte(payloadLen>>8), byte(payloadLen))
+	out = append(out, randBytes(rng, payloadLen)...)
 	return out
 }
 

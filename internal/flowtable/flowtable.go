@@ -60,6 +60,7 @@ type Stats struct {
 	Inserted    uint64 `json:"inserted"`     // total flows ever inserted
 	EvictedIdle uint64 `json:"evicted_idle"` // flows evicted by idle timeout
 	EvictedCap  uint64 `json:"evicted_cap"`  // flows evicted by the MaxFlows cap
+	Rekeyed     uint64 `json:"rekeyed"`      // flows re-keyed by connection migration
 }
 
 // Evicted returns the total number of evictions.
@@ -85,6 +86,7 @@ type Table[V any] struct {
 	inserted    atomic.Uint64
 	evictedIdle atomic.Uint64
 	evictedCap  atomic.Uint64
+	rekeyed     atomic.Uint64
 }
 
 // New returns a Table bounded by cfg. onEvict, if non-nil, is called
@@ -109,7 +111,29 @@ func (t *Table[V]) Stats() Stats {
 		Inserted:    t.inserted.Load(),
 		EvictedIdle: t.evictedIdle.Load(),
 		EvictedCap:  t.evictedCap.Load(),
+		Rekeyed:     t.rekeyed.Load(),
 	}
+}
+
+// Rekey moves a flow's state from old to new without disturbing its LRU
+// position, idle clock or the eviction counters — the flow is the same
+// logical connection observed on a new 5-tuple (QUIC connection migration).
+// It fails (returning false, touching nothing) when old is absent or new is
+// already tracked; the caller decides whether a colliding new key means a
+// ghost flow to merge or a true conflict.
+func (t *Table[V]) Rekey(old, new packet.FlowKey) bool {
+	e, ok := t.entries[old]
+	if !ok {
+		return false
+	}
+	if _, exists := t.entries[new]; exists {
+		return false
+	}
+	delete(t.entries, old)
+	e.key = new
+	t.entries[new] = e
+	t.rekeyed.Add(1)
+	return true
 }
 
 // Touch looks up a flow and, when present, marks it used at ts (refreshing

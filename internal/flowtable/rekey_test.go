@@ -1,0 +1,118 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+
+	"videoplat/internal/packet"
+)
+
+// TestRekeyMovesStateAndCounts pins the basic contract: the value moves to
+// the new key, the old key is gone, and only the rekeyed counter moves —
+// a migration is not an insert and not an eviction.
+func TestRekeyMovesStateAndCounts(t *testing.T) {
+	tb := New[int](Config{}, nil)
+	tb.Put(key(1), 11, t0)
+	if !tb.Rekey(key(1), key(2)) {
+		t.Fatal("Rekey failed on a live flow")
+	}
+	if _, ok := tb.Touch(key(1), t0); ok {
+		t.Error("old key still present after Rekey")
+	}
+	if v, ok := tb.Touch(key(2), t0); !ok || v != 11 {
+		t.Errorf("new key = (%d, %v), want (11, true)", v, ok)
+	}
+	st := tb.Stats()
+	if st.Rekeyed != 1 || st.Inserted != 1 || st.Active != 1 || st.Evicted() != 0 {
+		t.Errorf("stats = %+v, want 1 rekey, 1 insert, 1 active, 0 evictions", st)
+	}
+}
+
+// TestRekeyRefusals pins the failure modes: a missing old key and a
+// colliding new key both leave the table untouched.
+func TestRekeyRefusals(t *testing.T) {
+	tb := New[int](Config{}, nil)
+	tb.Put(key(1), 1, t0)
+	tb.Put(key(2), 2, t0)
+	if tb.Rekey(key(9), key(3)) {
+		t.Error("Rekey of an absent flow succeeded")
+	}
+	if tb.Rekey(key(1), key(2)) {
+		t.Error("Rekey onto a tracked key succeeded")
+	}
+	if v, ok := tb.Touch(key(1), t0); !ok || v != 1 {
+		t.Errorf("flow 1 disturbed by refused Rekey: (%d, %v)", v, ok)
+	}
+	if v, ok := tb.Touch(key(2), t0); !ok || v != 2 {
+		t.Errorf("flow 2 disturbed by refused Rekey: (%d, %v)", v, ok)
+	}
+	if st := tb.Stats(); st.Rekeyed != 0 {
+		t.Errorf("rekeyed = %d, want 0", st.Rekeyed)
+	}
+}
+
+// TestRekeyPreservesLRUPosition pins that migration does not refresh a
+// flow's LRU slot: flow 1 is the LRU when rekeyed, and must still be the
+// cap victim afterwards — Touch refreshes, Rekey must not.
+func TestRekeyPreservesLRUPosition(t *testing.T) {
+	var victims []packet.FlowKey
+	tb := New[int](Config{MaxFlows: 2}, func(k packet.FlowKey, _ int, r Reason) {
+		if r != ReasonCap {
+			t.Errorf("eviction reason = %s, want cap", r)
+		}
+		victims = append(victims, k)
+	})
+	tb.Put(key(1), 1, t0)
+	tb.Put(key(2), 2, t0.Add(time.Second)) // MRU: 2, LRU: 1
+	if !tb.Rekey(key(1), key(3)) {
+		t.Fatal("Rekey failed")
+	}
+	tb.Put(key(4), 4, t0.Add(2*time.Second)) // cap: must evict the rekeyed LRU
+	if len(victims) != 1 || victims[0] != key(3) {
+		t.Fatalf("victims = %v, want [%v] (the rekeyed flow, still LRU)", victims, key(3))
+	}
+}
+
+// TestRekeyPreservesIdleClock pins that migration does not reset the idle
+// timeout: the rekeyed flow expires exactly when the original would have.
+func TestRekeyPreservesIdleClock(t *testing.T) {
+	var victims []packet.FlowKey
+	tb := New[int](Config{IdleTimeout: time.Minute}, func(k packet.FlowKey, _ int, r Reason) {
+		if r != ReasonIdle {
+			t.Errorf("eviction reason = %s, want idle", r)
+		}
+		victims = append(victims, k)
+	})
+	tb.Put(key(1), 1, t0)
+	if !tb.Rekey(key(1), key(2)) {
+		t.Fatal("Rekey failed")
+	}
+	if n := tb.ExpireIdle(t0.Add(59 * time.Second)); n != 0 {
+		t.Fatalf("expired %d flows before the deadline", n)
+	}
+	if n := tb.ExpireIdle(t0.Add(time.Minute)); n != 1 {
+		t.Fatalf("expired %d flows at the deadline, want 1", n)
+	}
+	if len(victims) != 1 || victims[0] != key(2) {
+		t.Fatalf("victims = %v, want [%v] (evicted under the migrated key)", victims, key(2))
+	}
+}
+
+// TestRekeyChain pins repeated migration: a flow can re-key more than once
+// (a mobile client hopping networks), with each hop counted.
+func TestRekeyChain(t *testing.T) {
+	tb := New[int](Config{}, nil)
+	tb.Put(key(1), 7, t0)
+	for i := 2; i <= 5; i++ {
+		if !tb.Rekey(key(i-1), key(i)) {
+			t.Fatalf("hop %d failed", i)
+		}
+	}
+	if v, ok := tb.Touch(key(5), t0); !ok || v != 7 {
+		t.Errorf("final key = (%d, %v), want (7, true)", v, ok)
+	}
+	st := tb.Stats()
+	if st.Rekeyed != 4 || st.Inserted != 1 || st.Active != 1 {
+		t.Errorf("stats = %+v, want 4 rekeys of 1 inserted flow", st)
+	}
+}

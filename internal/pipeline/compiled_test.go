@@ -342,6 +342,30 @@ func TestClassifyHandshakeZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestClassifyPartialZeroAlloc pins the degraded serving path: a partial
+// HandshakeInfo with no ClientHello — the input ECH and 0-RTT flows present
+// to the early-classification gate — must classify with zero allocations,
+// since escalateEarly runs once per opaque frame on the hot path.
+func TestClassifyPartialZeroAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a bank")
+	}
+	bank := goldenBank(t)
+	info := &features.HandshakeInfo{QUIC: true, TTL: 52, InitPacketSize: 1252}
+	var sc ClassifyScratch
+	if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("partial-info ClassifyHandshake allocates %.1f per call, want 0", allocs)
+	}
+}
+
 // benchBankAndFlow trains a bench bank and one QUIC YouTube flow.
 func benchBankAndFlow(b *testing.B) (*Bank, *features.HandshakeInfo) {
 	b.Helper()
@@ -429,5 +453,23 @@ func BenchmarkClassifyHandshake(b *testing.B) {
 		}
 		// ns/flow comparability with the per-flow variants.
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/flow")
+	})
+
+	b.Run("partial", func(b *testing.B) {
+		// The degraded tier: no ClientHello, only transport-visible features —
+		// what ECH/0-RTT early classification pays per escalation attempt.
+		bank, _ := benchBankAndFlow(b)
+		info := &features.HandshakeInfo{QUIC: true, TTL: 52, InitPacketSize: 1252}
+		var sc ClassifyScratch
+		if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := bank.ClassifyHandshake(fingerprint.YouTube, fingerprint.QUIC, info, &sc); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }

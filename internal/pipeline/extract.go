@@ -123,13 +123,30 @@ type hsAssembler struct {
 	sawSYN    bool
 	tcpStream []byte // buffered client-direction TCP payload bytes
 	frames    int    // client frames consumed so far
+
+	// cryptoStream buffers a QUIC CRYPTO stream split across Initials
+	// (e.g. a hello fragmented around a mid-handshake migration). Only a
+	// contiguous prefix is kept; out-of-order fragments end the flow as
+	// no-handshake rather than buying an unbounded reorder buffer.
+	cryptoStream []byte
+	// sawInit records that the transport attributes (TTL, initial packet
+	// size) were captured from the flow's first QUIC packet, so later
+	// packets never overwrite them.
+	sawInit bool
+	// zeroRTT marks that the client sent 0-RTT early data: the handshake
+	// rides resumed keys and no fresh ClientHello may ever appear.
+	zeroRTT bool
+	// giveUp marks that the assembler has proof no hello is coming — the
+	// client moved to short-header (1-RTT) packets after 0-RTT early data
+	// without ever showing a ClientHello.
+	giveUp bool
 }
 
 func (a *hsAssembler) init() { a.info.TCPWScale = -1 }
 
 // buffered reports the client handshake bytes currently held for this flow
 // (the quantity Config.MaxHelloBytes bounds).
-func (a *hsAssembler) buffered() int { return len(a.tcpStream) }
+func (a *hsAssembler) buffered() int { return len(a.tcpStream) + len(a.cryptoStream) }
 
 // consume feeds one client-direction frame to the state machine, parsing it
 // with the caller's scratch parser state. It returns true once the flow's
@@ -179,21 +196,57 @@ func (a *hsAssembler) consumeParsed(parsed *packet.Parsed, frame []byte) bool {
 		}
 	case parsed.Has(packet.LayerUDP):
 		if !quicproto.IsLongHeader(parsed.Payload) {
+			// A short header before any hello: the client is in 1-RTT. If
+			// early data preceded it, the handshake rode resumed keys and
+			// no ClientHello is coming — proof, not a heuristic.
+			if a.zeroRTT && info.Hello == nil {
+				a.giveUp = true
+			}
+			return false
+		}
+		if quicproto.LongHeaderType(parsed.Payload) == quicproto.Type0RTT {
+			// 0-RTT early data: opaque under resumed keys, and evidence the
+			// flow is a session resumption. Its envelope still carries the
+			// transport attributes the degraded path classifies on.
+			a.zeroRTT = true
+			if !a.sawInit {
+				a.sawInit = true
+				info.QUIC = true
+				info.TTL = parsed.TTL()
+				info.InitPacketSize = len(parsed.Payload)
+			}
 			return false
 		}
 		init, err := quicproto.ParseInitial(parsed.Payload)
 		if err != nil {
 			return false
 		}
-		ch, err := tlsproto.Parse(init.CryptoData)
-		if err != nil {
-			return false
+		if !a.sawInit {
+			a.sawInit = true
+			info.QUIC = true
+			info.TTL = parsed.TTL()
+			info.InitPacketSize = init.WireSize
 		}
-		info.QUIC = true
-		info.TTL = parsed.TTL()
-		info.InitPacketSize = init.WireSize
-		info.Hello = ch
-		return true
+		// Fast path: the whole hello in one Initial — no buffering, the
+		// parsed Hello is backed by the Initial's own assembly buffer.
+		if init.CryptoOffset == 0 && len(a.cryptoStream) == 0 {
+			if ch, err := tlsproto.Parse(init.CryptoData); err == nil {
+				info.Hello = ch
+				return true
+			}
+		}
+		// Cross-packet CRYPTO accumulation: a hello split across Initials
+		// (a client that migrated mid-handshake fragments its flight).
+		// Fragments must arrive contiguously; a gap means the flow ends as
+		// no-handshake via the frame-count heuristic.
+		if int(init.CryptoOffset) == len(a.cryptoStream) && len(init.CryptoData) > 0 {
+			a.cryptoStream = append(a.cryptoStream, init.CryptoData...)
+			if ch, err := tlsproto.Parse(a.cryptoStream); err == nil {
+				info.Hello = ch
+				return true
+			}
+		}
+		return false
 	}
 	return false
 }

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"net/netip"
 	"sync/atomic"
 	"time"
 
@@ -9,6 +10,8 @@ import (
 	"videoplat/internal/flowtable"
 	"videoplat/internal/obs"
 	"videoplat/internal/packet"
+	"videoplat/internal/quicproto"
+	"videoplat/internal/tlsproto"
 )
 
 // Verdict is the pipeline's terminal decision taxonomy for a flow: not just
@@ -47,10 +50,20 @@ const (
 	// VerdictError: the classifier bank returned an error (e.g. no models
 	// for the provider/transport).
 	VerdictError
+	// VerdictAbstainedECH: the hello parsed but carried an Encrypted
+	// ClientHello extension, so the visible SNI is a fronting public name
+	// and the real provider hostname never crossed the tap. The flow joins
+	// the open-set bucket unless degraded classification (server-address
+	// hint + PlatformMargin gate) accepted it.
+	VerdictAbstainedECH
+	// VerdictAbstainedZeroRTT: a QUIC flow resumed with 0-RTT early data —
+	// no fresh Initial, no observable ClientHello, features never
+	// materialized. Open-set unless degraded classification accepted it.
+	VerdictAbstainedZeroRTT
 
 	// NumVerdicts is the number of Verdict values, for fixed-size counter
 	// arrays.
-	NumVerdicts = int(VerdictError) + 1
+	NumVerdicts = int(VerdictAbstainedZeroRTT) + 1
 )
 
 // String names the verdict; these strings are the stable vocabulary used in
@@ -71,6 +84,10 @@ func (v Verdict) String() string {
 		return "not-video"
 	case VerdictError:
 		return "error"
+	case VerdictAbstainedECH:
+		return "abstained-ech"
+	case VerdictAbstainedZeroRTT:
+		return "abstained-0rtt"
 	default:
 		return "pending"
 	}
@@ -141,6 +158,16 @@ type flowState struct {
 	// with an honest VerdictPending).
 	pendingClassify bool
 	span            *obs.Span // lifecycle trace, non-nil only for sampled flows
+
+	// early is the best degraded prediction so far for a flow whose hello
+	// may never surface (0-RTT): each client frame re-classifies on what is
+	// visible and the highest-margin attempt is kept, so the terminal
+	// decision escalates with confidence instead of betting on one look.
+	early    Prediction
+	hasEarly bool
+	// cids lists this flow's registrations in the pipeline's CID index so
+	// eviction can unregister them.
+	cids []cidKey
 }
 
 // Config bounds a Pipeline's flow table for long-running deployments.
@@ -198,6 +225,20 @@ type Config struct {
 	// Must be safe for concurrent use when shared across shards (obs.Tracer
 	// is).
 	Tracer *obs.Tracer
+	// ProviderHint, if non-nil, maps a server address to a provider — the
+	// IP-to-CDN knowledge an ISP derives from BGP/prefix lists. It enables
+	// degraded classification of flows whose hello is encrypted (ECH) or
+	// absent (0-RTT resumption): the pipeline classifies on the transport
+	// features it did see, under the hinted provider's models. nil disables
+	// degraded classification; such flows abstain into the open-set bucket.
+	// For Sharded it runs on shard goroutines and must be safe for
+	// concurrent use.
+	ProviderHint func(addr netip.Addr) (fingerprint.Provider, bool)
+	// EarlyMinMargin gates degraded (partial-feature) classifications: the
+	// prediction's PlatformMargin (top-1/top-2 probability gap) must reach
+	// this floor or the flow abstains. 0 selects DefaultEarlyMinMargin;
+	// negative accepts any margin the confidence selector passes.
+	EarlyMinMargin float64
 
 	// shardID and queueDepth are set by NewShardedWithConfig on each
 	// shard's private Config copy so sampled spans can record where the
@@ -218,6 +259,37 @@ type Config struct {
 // ClientHello (TLS records cap at 16 KB and hellos are a fraction of that),
 // tight enough that a million tracked flows cannot pin gigabytes.
 const DefaultMaxHelloBytes = 64 << 10
+
+// DefaultEarlyMinMargin is the PlatformMargin floor for degraded
+// classifications when Config.EarlyMinMargin is zero. Partial-feature
+// predictions run on a handful of transport attributes, so a near-tie
+// between the top two platforms is noise, not signal; requiring a 10-point
+// probability gap keeps the degraded path from laundering coin flips into
+// VerdictClassified.
+const DefaultEarlyMinMargin = 0.10
+
+// cidKey is a QUIC connection ID as a map key: fixed array plus length, so
+// indexing allocates nothing.
+type cidKey struct {
+	n uint8
+	b [20]byte
+}
+
+// mkCIDKey converts a wire CID. ok is false for empty or oversized IDs,
+// which are never worth indexing.
+func mkCIDKey(cid []byte) (cidKey, bool) {
+	if len(cid) == 0 || len(cid) > 20 {
+		return cidKey{}, false
+	}
+	k := cidKey{n: uint8(len(cid))}
+	copy(k.b[:], cid)
+	return k, true
+}
+
+// maxFlowCIDs caps per-flow CID registrations. A handshake exposes at most
+// a few IDs (client DCID/SCID, the server's chosen CID); anything past that
+// is a peer churning IDs to bloat the index.
+const maxFlowCIDs = 8
 
 // Pipeline is the streaming packet processor of Fig 4. Feed packets with
 // HandlePacket; classified flows are returned as events and accumulated for
@@ -244,6 +316,24 @@ type Pipeline struct {
 	// bytes exceeded Config.MaxHelloBytes. Atomic so Sharded can aggregate
 	// it across running shards.
 	oversized atomic.Uint64
+
+	// cids indexes the QUIC connection IDs observed on live flows back to
+	// their canonical flow key, so a packet arriving on an unknown 5-tuple
+	// whose CID is known re-keys the existing flow (connection migration)
+	// instead of spawning a ghost. Owned by the HandlePacket goroutine;
+	// allocated lazily on the first long-header frame.
+	cids map[cidKey]packet.FlowKey
+	// cidLens is a bitmask of CID lengths present in cids. Short headers do
+	// not carry their DCID length on the wire, so a migration probe tries
+	// each length the tap has actually seen (a real deployment pins its
+	// own CID length; here clients draw theirs per profile).
+	cidLens uint32
+
+	// migrations counts flows re-keyed onto a new 5-tuple; earlyClassified
+	// counts degraded (partial-feature) classifications accepted by the
+	// margin gate. Atomics so Sharded can aggregate across running shards.
+	migrations      atomic.Uint64
+	earlyClassified atomic.Uint64
 
 	// batchQueueWait is the shard-queue wait of the batch currently being
 	// processed, set by the shard worker before it replays the batch's
@@ -274,6 +364,7 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 		flowtable.Config{MaxFlows: cfg.MaxFlows, IdleTimeout: cfg.IdleTimeout},
 		func(_ packet.FlowKey, st *flowState, reason flowtable.Reason) {
 			p.finishSpan(st, "evicted")
+			p.unregisterCIDs(st)
 			switch {
 			case st.pendingClassify:
 				// Evicted between batch-mode deferral and flushBatch: the
@@ -281,6 +372,11 @@ func NewWithConfig(bank *Bank, cfg Config) *Pipeline {
 				// mark tells the flush to skip this flow; the record leaves
 				// with an honest VerdictPending.
 				st.pendingClassify = false
+			case st.rec.Verdict == VerdictPending && st.asm.zeroRTT:
+				// Evicted mid-flow with only 0-RTT early data seen: the
+				// hello was never coming, so the flow leaves as an explicit
+				// resumption abstain rather than a generic no-handshake.
+				st.rec.Verdict = VerdictAbstainedZeroRTT
 			case st.rec.Verdict == VerdictPending:
 				// Evicted before the handshake resolved: the classifier
 				// never saw this flow.
@@ -369,6 +465,9 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	p.maybeSweep(ts)
 	st, ok := p.flows.Touch(canon, ts)
 	if !ok {
+		st, ok = p.migrateFlow(key, canon, frame, payloadLen, ts)
+	}
+	if !ok {
 		st = &flowState{clientKey: key}
 		st.rec.Key = key
 		st.rec.FirstSeen = ts
@@ -389,6 +488,17 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	if st.span != nil {
 		st.span.Frames++
 		st.span.QueueWaitNS += p.batchQueueWait
+	}
+
+	// Register QUIC connection IDs from long-header frames — both
+	// directions, since the server's flight is what announces the server's
+	// chosen CID — so a later 5-tuple change is recognized as migration
+	// instead of spawning a ghost flow. Runs even for flows already
+	// classified: migration happens mid-stream, long after the verdict.
+	if key.Proto == packet.ProtoUDP && payloadLen > 0 && payloadLen <= len(frame) {
+		if pl := frame[len(frame)-payloadLen:]; quicproto.IsLongHeader(pl) {
+			p.learnCIDs(st, canon, pl)
+		}
 	}
 
 	// Telemetry split by direction.
@@ -430,7 +540,16 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 		}
 	}
 	if !complete {
+		if st.asm.zeroRTT && !st.asm.giveUp {
+			// Confidence escalation: classify on what is visible so far and
+			// keep the highest-margin attempt for the terminal decision.
+			p.escalateEarly(st)
+		}
 		switch {
+		case st.asm.giveUp, st.asm.zeroRTT && st.asm.frames > 8:
+			// 0-RTT resumption: the hello is not coming. Decide on partial
+			// features or abstain explicitly into the open-set bucket.
+			return p.finishDegraded(st, &st.asm.info, VerdictAbstainedZeroRTT)
 		case st.asm.frames > 8:
 			st.done = true // no hello in the first packets: not a video flow
 			st.rec.Verdict = VerdictNoHandshake
@@ -451,6 +570,14 @@ func (p *Pipeline) handleKeyed(ts time.Time, frame []byte, key, canon packet.Flo
 	sni := info.Hello.ServerName()
 	prov, content, ok := MatchProvider(sni)
 	if !ok {
+		if info.Hello.HasExtension(tlsproto.ExtEncryptedClientHello) {
+			// ECH: the visible SNI is a fronting public name; the real
+			// hostname rides encrypted in the hello. The outer hello is
+			// still a full client fingerprint, so degraded classification
+			// under a hinted provider sees everything but the SNI.
+			st.rec.SNI = sni // the fronted (outer) name — observable truth
+			return p.finishDegraded(st, info, VerdictAbstainedECH)
+		}
 		st.done = true
 		st.rec.Verdict = VerdictNotVideo
 		if st.span != nil {
@@ -541,6 +668,205 @@ func (p *Pipeline) finishClassification(st *flowState, info *features.HandshakeI
 	st.asm = hsAssembler{} // release only after the hook: info aliases it
 	return &out, nil
 }
+
+// hintFor resolves the provider hint for a flow's server side (the 443
+// endpoint of the initiating packet).
+func (p *Pipeline) hintFor(st *flowState) (fingerprint.Provider, bool) {
+	if p.cfg.ProviderHint == nil {
+		return 0, false
+	}
+	addr := st.clientKey.Dst
+	if st.clientKey.DstPort != 443 {
+		addr = st.clientKey.Src
+	}
+	return p.cfg.ProviderHint(addr)
+}
+
+// earlyMinMargin resolves the Config.EarlyMinMargin default.
+func (p *Pipeline) earlyMinMargin() float64 {
+	switch {
+	case p.cfg.EarlyMinMargin == 0:
+		return DefaultEarlyMinMargin
+	case p.cfg.EarlyMinMargin < 0:
+		return 0
+	}
+	return p.cfg.EarlyMinMargin
+}
+
+// escalateEarly runs one degraded classification attempt on the features
+// visible so far, keeping the highest-margin prediction — the confidence
+// escalation of a flow whose hello may never surface. Bounded by the
+// 8-frame handshake heuristic, so an opaque flow costs at most a handful of
+// attempts before its terminal decision.
+func (p *Pipeline) escalateEarly(st *flowState) {
+	prov, ok := p.hintFor(st)
+	if !ok {
+		return
+	}
+	tr := fingerprint.TCP
+	if st.asm.info.QUIC {
+		tr = fingerprint.QUIC
+	}
+	pred, err := p.bank.Load().ClassifyHandshake(prov, tr, &st.asm.info, &p.scratch)
+	if err != nil || pred.Status == Unknown {
+		return
+	}
+	if !st.hasEarly || pred.PlatformMargin > st.early.PlatformMargin {
+		st.early, st.hasEarly = pred, true
+	}
+}
+
+// finishDegraded terminates a flow whose decisive features never surfaced —
+// an ECH hello with no real SNI, or a 0-RTT resumption with no hello at
+// all. With a provider hint available the flow is classified on whatever
+// features did materialize, accepted only when the prediction clears both
+// the confidence selector and the EarlyMinMargin gate; otherwise the flow
+// abstains into the open-set bucket with the explicit fallback verdict.
+// Config.OnClassify is deliberately not invoked: drift monitors and shadow
+// evaluators compare full-feature classifications, and feeding them
+// partial-feature records would poison both baselines. Runs immediately
+// even in batch mode — degraded flows never join a ClassifyBatch sweep.
+func (p *Pipeline) finishDegraded(st *flowState, info *features.HandshakeInfo, fallback Verdict) (*FlowRecord, error) {
+	st.done = true
+	st.rec.Transport = fingerprint.TCP
+	if info.QUIC {
+		st.rec.Transport = fingerprint.QUIC
+	}
+	bank := p.bank.Load()
+	best, have := st.early, st.hasEarly
+	prov, hinted := p.hintFor(st)
+	if hinted && !have {
+		if pred, err := bank.ClassifyHandshake(prov, st.rec.Transport, info, &p.scratch); err == nil {
+			best, have = pred, true
+		}
+	}
+	if hinted && have && best.Status != Unknown && best.PlatformMargin >= p.earlyMinMargin() {
+		st.rec.Provider = prov
+		st.rec.Prediction = best
+		st.rec.Classified = true
+		st.rec.Verdict = VerdictClassified
+		st.rec.ModelVersion = bank.Version
+		p.ClassifiedFlows++
+		p.earlyClassified.Add(1)
+		p.finishSpan(st, best.Device+"/"+best.Agent)
+		out := st.rec
+		st.asm = hsAssembler{}
+		return &out, nil
+	}
+	st.rec.Verdict = fallback
+	p.UnknownFlows++
+	p.finishSpan(st, fallback.String())
+	st.asm = hsAssembler{}
+	return nil, nil
+}
+
+// migrateFlow resolves a flow-table miss against the CID index: when the
+// frame's QUIC connection ID belongs to a live flow, that flow is re-keyed
+// onto the new 5-tuple (connection migration) and keeps its assembler
+// state, record and telemetry — one FlowRecord per logical flow, not a
+// ghost per path. ok is false when the frame matches no known CID.
+func (p *Pipeline) migrateFlow(key, canon packet.FlowKey, frame []byte, payloadLen int, ts time.Time) (*flowState, bool) {
+	if len(p.cids) == 0 || key.Proto != packet.ProtoUDP || payloadLen <= 0 || payloadLen > len(frame) {
+		return nil, false
+	}
+	oldCanon, ok := p.lookupCID(frame[len(frame)-payloadLen:])
+	if !ok || !p.flows.Rekey(oldCanon, canon) {
+		return nil, false
+	}
+	st, ok := p.flows.Touch(canon, ts)
+	if !ok {
+		return nil, false // unreachable: Rekey just installed canon
+	}
+	p.migrations.Add(1)
+	// The client now speaks from the migrated tuple (the 443 side stays the
+	// server); re-pointing clientKey keeps the direction split and any
+	// still-running handshake assembly correct for everything that follows.
+	if key.DstPort == 443 {
+		st.clientKey = key
+	} else {
+		st.clientKey = key.Reverse()
+	}
+	// Follow the flow in the CID index so a second migration re-keys again
+	// and eviction cleans up under the current key.
+	for _, ck := range st.cids {
+		p.cids[ck] = canon
+	}
+	return st, true
+}
+
+// lookupCID maps a QUIC payload to the canonical key of the live flow that
+// registered one of its connection IDs. Long headers carry explicit IDs;
+// short headers carry only DCID bytes with no on-wire length, so each
+// length the tap has registered is probed shortest-first.
+func (p *Pipeline) lookupCID(payload []byte) (packet.FlowKey, bool) {
+	if quicproto.IsLongHeader(payload) {
+		ids, err := quicproto.ParseLongHeaderCIDs(payload)
+		if err != nil {
+			return packet.FlowKey{}, false
+		}
+		for _, cid := range [2][]byte{ids.DCID, ids.SCID} {
+			if ck, ok := mkCIDKey(cid); ok {
+				if canon, hit := p.cids[ck]; hit {
+					return canon, true
+				}
+			}
+		}
+		return packet.FlowKey{}, false
+	}
+	for l := 1; l <= 20; l++ {
+		if p.cidLens&(1<<uint(l)) == 0 || 1+l > len(payload) {
+			continue
+		}
+		if ck, ok := mkCIDKey(payload[1 : 1+l]); ok {
+			if canon, hit := p.cids[ck]; hit {
+				return canon, true
+			}
+		}
+	}
+	return packet.FlowKey{}, false
+}
+
+// learnCIDs registers a long-header frame's connection IDs for the flow.
+func (p *Pipeline) learnCIDs(st *flowState, canon packet.FlowKey, payload []byte) {
+	ids, err := quicproto.ParseLongHeaderCIDs(payload)
+	if err != nil {
+		return
+	}
+	p.learnCID(st, canon, ids.DCID)
+	p.learnCID(st, canon, ids.SCID)
+}
+
+func (p *Pipeline) learnCID(st *flowState, canon packet.FlowKey, cid []byte) {
+	ck, ok := mkCIDKey(cid)
+	if !ok || len(st.cids) >= maxFlowCIDs {
+		return
+	}
+	if existing, hit := p.cids[ck]; hit && existing == canon {
+		return
+	}
+	if p.cids == nil {
+		p.cids = make(map[cidKey]packet.FlowKey)
+	}
+	p.cids[ck] = canon
+	p.cidLens |= 1 << uint(ck.n)
+	st.cids = append(st.cids, ck)
+}
+
+// unregisterCIDs removes a flow's CID index entries (eviction cleanup).
+func (p *Pipeline) unregisterCIDs(st *flowState) {
+	for _, ck := range st.cids {
+		delete(p.cids, ck)
+	}
+	st.cids = nil
+}
+
+// Migrations reports flows re-keyed onto a new 5-tuple by connection
+// migration. Safe from any goroutine.
+func (p *Pipeline) Migrations() uint64 { return p.migrations.Load() }
+
+// EarlyClassified reports degraded (partial-feature) classifications
+// accepted by the EarlyMinMargin gate. Safe from any goroutine.
+func (p *Pipeline) EarlyClassified() uint64 { return p.earlyClassified.Load() }
 
 // pendingGroup accumulates one (provider, transport)'s deferred
 // classifications within the current ingest batch. flows and infos are
@@ -706,5 +1032,7 @@ func (p *Pipeline) Flows() []*FlowRecord {
 // invoking the eviction hook.
 func (p *Pipeline) Reset() {
 	p.flows.Clear()
+	p.cids = nil
+	p.cidLens = 0
 	p.lastSweep = time.Time{}
 }

@@ -8,6 +8,7 @@ import (
 	"videoplat/internal/flowtable"
 	"videoplat/internal/obs"
 	"videoplat/internal/packet"
+	"videoplat/internal/quicproto"
 )
 
 // Default queue depths for Sharded, used when the corresponding Config
@@ -95,7 +96,34 @@ type Sharded struct {
 	// messages carry no enqueue timestamps.
 	obsv   *obs.PipelineObserver
 	tracer *obs.Tracer
+
+	// cidRoute maps observed QUIC connection IDs to the shard that owns
+	// their flow. Shard placement hashes the 5-tuple, so a migrated flow's
+	// packets would otherwise hash to the wrong shard and the owning
+	// shard's CID index would never see them; this ingest-side cache (owned
+	// by the single ingest goroutine, like the parser scratch) routes by
+	// CID first. It is a routing cache, not authoritative state: entries go
+	// stale when flows evict, a stale hit merely routes the packet to a
+	// shard that treats it as a new flow — exactly what no cache would do.
+	// Learning stops at maxCIDRoutes; a long-running deployment sheds the
+	// cache by Close/restart (documented in OPERATIONS.md).
+	cidRoute map[cidKey]int
+	// cidRouteLens mirrors Pipeline.cidLens at ingest: the CID lengths
+	// present in cidRoute, for probing short headers that do not carry a
+	// DCID length on the wire.
+	cidRouteLens uint32
+	// tupleRoute pins a canonical 5-tuple to the shard its flow lives on,
+	// learned whenever CID routing overrides the tuple hash. It exists for
+	// frames CID routing cannot see: a client with a zero-length connection
+	// ID (Chrome) receives post-migration short headers carrying no CID at
+	// all, and only the migrated tuple links them to the owning shard. Same
+	// ownership and staleness story as cidRoute; shares its size cap.
+	tupleRoute map[packet.FlowKey]int
 }
+
+// maxCIDRoutes bounds the ingest routing cache: 64K entries (~1.5 MB) covers
+// tens of thousands of concurrent QUIC flows before learning stops.
+const maxCIDRoutes = 1 << 16
 
 type shard struct {
 	in chan shardMsg
@@ -255,7 +283,79 @@ func (s *Sharded) decode(ts time.Time, data []byte) (ingestFrame, int, bool) {
 	}
 	canon := key.Canonical()
 	f := ingestFrame{ts: ts, key: key, canon: canon, payloadLen: len(s.scratch.Payload)}
-	return f, int(hashKey(canon) % uint64(len(s.shards))), true
+	idx := int(hashKey(canon) % uint64(len(s.shards)))
+	if key.Proto == packet.ProtoUDP && len(s.scratch.Payload) > 0 {
+		if own, hit := s.tupleRoute[canon]; hit {
+			idx = own
+		} else if routed := s.routeQUIC(s.scratch.Payload, idx); routed != idx {
+			// CID routing overrode the hash: a migrated tuple. Pin it so
+			// CID-less frames on this tuple follow the flow too.
+			idx = routed
+			if len(s.tupleRoute) < maxCIDRoutes {
+				if s.tupleRoute == nil {
+					s.tupleRoute = make(map[packet.FlowKey]int)
+				}
+				s.tupleRoute[canon] = idx
+			}
+		}
+	}
+	return f, idx, true
+}
+
+// routeQUIC overrides the hash-based shard of a QUIC frame when its
+// connection ID is already owned by a shard: after a connection migration
+// the new 5-tuple hashes elsewhere, and only CID routing lands the packet
+// on the shard holding the flow's state. Long-header frames also teach the
+// cache their IDs (both directions — the server flight announces the
+// server's CID).
+func (s *Sharded) routeQUIC(payload []byte, hashIdx int) int {
+	if !quicproto.IsLongHeader(payload) {
+		// Short header: no CID length on the wire, probe each length seen.
+		for l := 1; l <= 20; l++ {
+			if s.cidRouteLens&(1<<uint(l)) == 0 || 1+l > len(payload) {
+				continue
+			}
+			if ck, ok := mkCIDKey(payload[1 : 1+l]); ok {
+				if idx, hit := s.cidRoute[ck]; hit {
+					return idx
+				}
+			}
+		}
+		return hashIdx
+	}
+	ids, err := quicproto.ParseLongHeaderCIDs(payload)
+	if err != nil {
+		return hashIdx
+	}
+	// Resolve the owning shard from either ID first, then teach both under
+	// it, so a frame pairing a known ID with a fresh one (the server flight
+	// echoing the client's SCID while announcing its own CID) registers the
+	// fresh ID to the flow's shard, not the tuple hash.
+	var keys [2]cidKey
+	var valid [2]bool
+	idx, routed := hashIdx, false
+	for i, cid := range [2][]byte{ids.DCID, ids.SCID} {
+		if ck, ok := mkCIDKey(cid); ok {
+			keys[i], valid[i] = ck, true
+			if got, hit := s.cidRoute[ck]; hit && !routed {
+				idx, routed = got, true
+			}
+		}
+	}
+	for i := range keys {
+		if !valid[i] {
+			continue
+		}
+		if _, hit := s.cidRoute[keys[i]]; hit || len(s.cidRoute) >= maxCIDRoutes {
+			continue
+		}
+		if s.cidRoute == nil {
+			s.cidRoute = make(map[cidKey]int)
+		}
+		s.cidRoute[keys[i]] = idx
+		s.cidRouteLens |= 1 << uint(keys[i].n)
+	}
+	return idx
 }
 
 // send enqueues a shard message, counting the stall when the inbox is full
@@ -387,6 +487,12 @@ type IngestStats struct {
 	// because their buffered handshake bytes exceeded Config.MaxHelloBytes
 	// (summed across shards).
 	OversizedHandshakes uint64 `json:"oversized_handshakes"`
+	// Migrations counts flows re-keyed onto a new 5-tuple by QUIC
+	// connection migration (summed across shards).
+	Migrations uint64 `json:"migrations"`
+	// EarlyClassified counts degraded (partial-feature) classifications
+	// accepted by the EarlyMinMargin gate (summed across shards).
+	EarlyClassified uint64 `json:"early_classified"`
 }
 
 // IngestStats snapshots the ingest counters. Safe from any goroutine.
@@ -397,7 +503,29 @@ func (s *Sharded) IngestStats() IngestStats {
 		DroppedResults:      s.dropped.Load(),
 		Stalls:              s.stalls.Load(),
 		OversizedHandshakes: s.OversizedHandshakes(),
+		Migrations:          s.Migrations(),
+		EarlyClassified:     s.EarlyClassified(),
 	}
+}
+
+// Migrations sums the per-shard count of flows re-keyed by connection
+// migration. Safe from any goroutine.
+func (s *Sharded) Migrations() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.p.Migrations()
+	}
+	return n
+}
+
+// EarlyClassified sums the per-shard count of accepted degraded
+// classifications. Safe from any goroutine.
+func (s *Sharded) EarlyClassified() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.p.EarlyClassified()
+	}
+	return n
 }
 
 // OversizedHandshakes sums the per-shard count of flows abandoned because
@@ -492,6 +620,7 @@ func (s *Sharded) TableStats() flowtable.Stats {
 		st.Inserted += t.Inserted
 		st.EvictedIdle += t.EvictedIdle
 		st.EvictedCap += t.EvictedCap
+		st.Rekeyed += t.Rekeyed
 	}
 	return st
 }

@@ -85,12 +85,27 @@ type Initial struct {
 	DCID, SCID   []byte
 	Token        []byte
 	PacketNumber uint64
-	CryptoData   []byte // reassembled CRYPTO stream (the TLS ClientHello)
+	CryptoData   []byte // reassembled CRYPTO stream carried by this packet
+
+	// CryptoOffset is the stream offset of CryptoData: 0 when the packet
+	// carries the start of the ClientHello (the common single-Initial
+	// case), nonzero when it carries a later fragment of a hello split
+	// across Initials — e.g. a client that migrated mid-handshake. On
+	// encode, Seal emits the CRYPTO frame at this offset.
+	CryptoOffset uint64
 
 	// WireSize is the size of the UDP payload this packet was parsed from
 	// or encoded to — the paper's init_packet_size attribute.
 	WireSize int
 }
+
+// maxCryptoLen bounds the reassembled CRYPTO stream of one packet. CRYPTO
+// offset and length ride attacker-controlled varints (up to 2^62-1), so
+// without a cap a single forged Initial could demand an arbitrarily large
+// reassembly buffer. Real first-flight hellos are well under 16 KB; 256 KB
+// leaves room for any conceivable hello while keeping the worst-case
+// allocation trivial.
+const maxCryptoLen = 1 << 18
 
 // frame type codes handled in Initial packets.
 const (
@@ -189,13 +204,20 @@ func ParseInitial(datagram []byte) (*Initial, error) {
 	return p, nil
 }
 
-// assembleCrypto walks the frame sequence and reassembles CRYPTO data.
+// assembleCrypto walks the frame sequence and reassembles the CRYPTO data
+// this packet carries into one contiguous run. The run need not start at
+// stream offset 0 — a hello split across Initials puts later fragments at
+// nonzero offsets — so the result is (CryptoOffset, CryptoData). Gaps
+// *within* one packet's segments remain malformed (no real stack fragments
+// its own flight), and the total reassembly is bounded by maxCryptoLen so
+// forged offset varints cannot demand huge buffers.
 func (p *Initial) assembleCrypto(frames []byte) error {
 	type segment struct {
 		off  uint64
 		data []byte
 	}
 	var segs []segment
+	minOff := uint64(1<<63 - 1)
 	var maxEnd uint64
 	r := wire.NewReader(frames)
 	for !r.Empty() {
@@ -219,11 +241,17 @@ func (p *Initial) assembleCrypto(frames []byte) error {
 			if err != nil {
 				return fmt.Errorf("%w: crypto length", ErrMalformed)
 			}
+			if off > maxCryptoLen || n > maxCryptoLen || off+n > maxCryptoLen {
+				return fmt.Errorf("%w: crypto stream exceeds %d bytes", ErrMalformed, maxCryptoLen)
+			}
 			data, err := r.Bytes(int(n))
 			if err != nil {
 				return fmt.Errorf("%w: crypto data", ErrMalformed)
 			}
 			segs = append(segs, segment{off, data})
+			if off < minOff {
+				minOff = off
+			}
 			if off+n > maxEnd {
 				maxEnd = off + n
 			}
@@ -234,12 +262,13 @@ func (p *Initial) assembleCrypto(frames []byte) error {
 	if maxEnd == 0 {
 		return nil
 	}
-	buf := make([]byte, maxEnd)
-	filled := make([]bool, maxEnd)
+	span := maxEnd - minOff
+	buf := make([]byte, span)
+	filled := make([]bool, span)
 	for _, s := range segs {
-		copy(buf[s.off:], s.data)
+		copy(buf[s.off-minOff:], s.data)
 		for i := uint64(0); i < uint64(len(s.data)); i++ {
-			filled[s.off+i] = true
+			filled[s.off-minOff+i] = true
 		}
 	}
 	for _, ok := range filled {
@@ -247,6 +276,7 @@ func (p *Initial) assembleCrypto(frames []byte) error {
 			return fmt.Errorf("%w: crypto stream has gaps", ErrMalformed)
 		}
 	}
+	p.CryptoOffset = minOff
 	p.CryptoData = buf
 	return nil
 }
@@ -287,8 +317,9 @@ func skipACK(r *wire.Reader, ft uint64) error {
 const MinInitialSize = 1200
 
 // Seal encodes and encrypts the Initial into a UDP datagram. CryptoData is
-// carried in a single CRYPTO frame at offset 0, padded with PADDING frames
-// to at least minSize (use 0 for the RFC default of 1200).
+// carried in a single CRYPTO frame at CryptoOffset (0 for a complete hello),
+// padded with PADDING frames to at least minSize (use 0 for the RFC default
+// of 1200).
 func (p *Initial) Seal(minSize int) ([]byte, error) {
 	if minSize == 0 {
 		minSize = MinInitialSize
@@ -298,10 +329,10 @@ func (p *Initial) Seal(minSize int) ([]byte, error) {
 	}
 	const pnLen = 4 // fixed-length packet number keeps the header math simple
 
-	// Plaintext frames: CRYPTO(offset=0) + padding.
+	// Plaintext frames: CRYPTO(offset=CryptoOffset) + padding.
 	frames := wire.NewWriter(len(p.CryptoData) + 64)
 	frames.Uint8(frameCrypto)
-	if err := frames.Varint(0); err != nil {
+	if err := frames.Varint(p.CryptoOffset); err != nil {
 		return nil, err
 	}
 	if err := frames.Varint(uint64(len(p.CryptoData))); err != nil {
@@ -365,3 +396,60 @@ func (p *Initial) Seal(minSize int) ([]byte, error) {
 
 // IsLongHeader reports whether a UDP payload starts with a QUIC long header.
 func IsLongHeader(b []byte) bool { return len(b) > 0 && b[0]&0x80 != 0 }
+
+// Long packet types (RFC 9000 §17.2), as returned by LongHeaderType.
+const (
+	TypeInitial   uint8 = 0
+	Type0RTT      uint8 = 1
+	TypeHandshake uint8 = 2
+	TypeRetry     uint8 = 3
+)
+
+// LongHeaderType returns a long-header packet's type bits. Valid only when
+// IsLongHeader(b); the type bits are not covered by header protection, so
+// they read true off the wire.
+func LongHeaderType(b []byte) uint8 { return (b[0] >> 4) & 0x03 }
+
+// LongHeaderCIDs is the plaintext prefix every long-header packet exposes
+// before any cryptography: its type, version and both connection IDs. This
+// is all an on-path observer can read from 0-RTT or Handshake packets — and
+// exactly what a flow tracker needs to follow a connection across a
+// migration, since the IDs survive the 5-tuple change.
+type LongHeaderCIDs struct {
+	Type       uint8
+	Version    uint32
+	DCID, SCID []byte
+}
+
+// ParseLongHeaderCIDs decodes the plaintext connection-ID prefix of any
+// long-header packet (Initial, 0-RTT, Handshake, Retry) without touching
+// packet protection. The returned DCID/SCID alias datagram; copy them to
+// retain past the buffer's lifetime. Allocation-free.
+func ParseLongHeaderCIDs(datagram []byte) (LongHeaderCIDs, error) {
+	var out LongHeaderCIDs
+	if len(datagram) < 7 {
+		return out, fmt.Errorf("%w: short long header", ErrMalformed)
+	}
+	first := datagram[0]
+	if first&0x80 == 0 {
+		return out, ErrNotLongHeader
+	}
+	out.Type = (first >> 4) & 0x03
+	out.Version = uint32(datagram[1])<<24 | uint32(datagram[2])<<16 |
+		uint32(datagram[3])<<8 | uint32(datagram[4])
+	i := 5
+	dcidLen := int(datagram[i])
+	i++
+	if dcidLen > 20 || i+dcidLen >= len(datagram) {
+		return out, fmt.Errorf("%w: dcid length", ErrMalformed)
+	}
+	out.DCID = datagram[i : i+dcidLen]
+	i += dcidLen
+	scidLen := int(datagram[i])
+	i++
+	if scidLen > 20 || i+scidLen > len(datagram) {
+		return out, fmt.Errorf("%w: scid length", ErrMalformed)
+	}
+	out.SCID = datagram[i : i+scidLen]
+	return out, nil
+}

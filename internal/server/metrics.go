@@ -52,6 +52,18 @@ var metricsCatalog = []metricDef{
 				fmt.Sprintf("videoplat_flows_evicted_total{reason=\"cap\"} %d", st.FlowTable.EvictedCap),
 			}
 		}},
+	{"videoplat_flows_rekeyed_total", "counter", "Flows re-keyed in place by QUIC connection migration.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_rekeyed_total", float64(st.FlowTable.Rekeyed))
+		}},
+	{"videoplat_flow_migrations_total", "counter", "QUIC connection migrations absorbed by CID re-keying.", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flow_migrations_total", float64(st.Ingest.Migrations))
+		}},
+	{"videoplat_flows_early_classified_total", "counter", "Flows classified from partial handshake evidence (ECH or 0-RTT).", false,
+		func(st *Stats) []string {
+			return gauge1("videoplat_flows_early_classified_total", float64(st.Ingest.EarlyClassified))
+		}},
 	{"videoplat_flows_classified_total", "counter", "Flows classified with a platform prediction.", false,
 		func(st *Stats) []string {
 			return gauge1("videoplat_flows_classified_total", float64(st.ClassifiedFlows))

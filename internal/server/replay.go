@@ -55,13 +55,28 @@ func (s *fileSource) Close() error { return s.f.Close() }
 // for soak-testing the daemon without a capture file. Sessions start at
 // 30-second intervals of trace time, mirroring cmd/vpgen.
 type SynthSource struct {
-	g          *tracegen.Generator
-	rng        *rand.Rand
-	start      time.Time
-	sessions   int // remaining sessions to render
-	rendered   int
-	driftAfter int // sessions after which profiles drift (0 = never)
-	queue      []pcap.Packet
+	g           *tracegen.Generator
+	rng         *rand.Rand
+	start       time.Time
+	sessions    int // remaining sessions to render
+	rendered    int
+	driftAfter  int     // sessions after which profiles drift (0 = never)
+	adversarial float64 // fraction of sessions rendered with an adversarial scenario
+	queue       []pcap.Packet
+}
+
+// SetAdversarial makes the given fraction of subsequent sessions render with
+// one adversarial handshake scenario — ECH, QUIC 0-RTT resumption or
+// connection migration, chosen uniformly — exercising the daemon's degraded
+// classification and flow re-keying paths under load.
+func (s *SynthSource) SetAdversarial(fraction float64) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	s.adversarial = fraction
 }
 
 // NewSynthSource returns a Source producing n synthetic video sessions
@@ -122,6 +137,16 @@ func (s *SynthSource) renderSession() error {
 	}
 	label := labels[s.rng.IntN(len(labels))]
 	opts := fingerprint.Options{OpenSet: s.driftAfter > 0 && s.rendered >= s.driftAfter}
+	if s.adversarial > 0 && s.rng.Float64() < s.adversarial {
+		switch s.rng.IntN(3) {
+		case 0:
+			opts.ECH = true
+		case 1:
+			opts.ZeroRTT = true
+		default:
+			opts.Migration = true
+		}
+	}
 	flows, err := s.g.Session(label, prov, opts)
 	if err != nil {
 		return fmt.Errorf("server: rendering session: %w", err)

@@ -46,6 +46,7 @@ import (
 	"net"
 	"net/http"
 	netpprof "net/http/pprof"
+	"net/netip"
 	"runtime"
 	"strconv"
 	"strings"
@@ -55,6 +56,7 @@ import (
 
 	"videoplat/internal/drift"
 	"videoplat/internal/features"
+	"videoplat/internal/fingerprint"
 	"videoplat/internal/flowtable"
 	"videoplat/internal/obs"
 	"videoplat/internal/pipeline"
@@ -96,6 +98,14 @@ type Config struct {
 	// Flows over the cap are abandoned and counted as
 	// oversized_handshakes in /stats and /metrics.
 	MaxHelloBytes int
+	// EarlyMinMargin is the PlatformMargin floor for degraded
+	// classifications of flows whose hello is encrypted (ECH) or absent
+	// (0-RTT) (0 = pipeline default of 0.10; <0 = any margin).
+	EarlyMinMargin float64
+	// ProviderHint maps a server address to its provider (the IP-to-CDN
+	// knowledge of the tap). Nil disables degraded classification: ECH and
+	// 0-RTT flows then abstain into the open-set bucket.
+	ProviderHint func(addr netip.Addr) (fingerprint.Provider, bool)
 	// Sink receives sealed rollup windows (nil = discard). Independent of
 	// the Store: windows always reach both.
 	Sink telemetry.Sink
@@ -269,6 +279,8 @@ func New(bank *pipeline.Bank, src Source, cfg Config) (*Server, error) {
 		ShardQueueDepth: cfg.ShardQueueDepth,
 		ResultsBuffer:   cfg.ResultsBuffer,
 		MaxHelloBytes:   cfg.MaxHelloBytes,
+		EarlyMinMargin:  cfg.EarlyMinMargin,
+		ProviderHint:    cfg.ProviderHint,
 		Observer:        s.obsv,
 		Tracer:          s.tracer,
 		OnEvict: func(rec *pipeline.FlowRecord, _ flowtable.Reason) {
@@ -632,6 +644,12 @@ type Stats struct {
 		// OversizedHandshakes counts flows abandoned because their
 		// buffered handshake bytes exceeded the MaxHelloBytes cap.
 		OversizedHandshakes uint64 `json:"oversized_handshakes"`
+		// Migrations counts QUIC connection migrations absorbed by CID
+		// re-keying (each is a flow whose 5-tuple changed mid-connection).
+		Migrations uint64 `json:"migrations"`
+		// EarlyClassified counts flows classified from partial handshake
+		// evidence (ECH or 0-RTT) via the provider hint + margin gate.
+		EarlyClassified uint64 `json:"early_classified"`
 		// QueueDepths is the live per-shard ingest inbox occupancy in batch
 		// messages; QueueCapacity is each inbox's capacity. Sustained
 		// near-capacity depths mean the shards can't keep up (see Stalls).
@@ -748,6 +766,8 @@ func (s *Server) Snapshot() Stats {
 	st.Ingest.FilteredFrames = ing.Filtered
 	st.Ingest.Stalls = ing.Stalls
 	st.Ingest.OversizedHandshakes = ing.OversizedHandshakes
+	st.Ingest.Migrations = ing.Migrations
+	st.Ingest.EarlyClassified = ing.EarlyClassified
 	st.Ingest.QueueDepths = s.sharded.QueueDepths()
 	st.Ingest.QueueCapacity = s.sharded.QueueCapacity()
 	st.Ingest.ResultsBuffered = s.sharded.ResultsBuffered()

@@ -41,6 +41,11 @@ const (
 	ExtQUICTransportParams  uint16 = 57
 	ExtApplicationSettings  uint16 = 17513 // ALPS (draft-vvv-tls-alps)
 	ExtRenegotiationInfo    uint16 = 65281
+	// ExtEncryptedClientHello is the ECH extension (draft-ietf-tls-esni).
+	// When present, the visible server_name is a fronting public name and
+	// the real inner hello — SNI included — rides encrypted in its payload,
+	// opaque to an on-path observer.
+	ExtEncryptedClientHello uint16 = 0xfe0d
 )
 
 // TLS protocol version codes.

@@ -47,6 +47,23 @@ type FlowTrace struct {
 	// Flow endpoints (client side first).
 	ClientAddr, ServerAddr netip.Addr
 	ClientPort, ServerPort uint16
+
+	// Migration ground truth: when Migrated is set the client switched to
+	// MigratedAddr:MigratedPort partway through the flow (QUIC connection
+	// migration) and every frame after the switch rides the new 5-tuple.
+	Migrated     bool
+	MigratedAddr netip.Addr
+	MigratedPort uint16
+}
+
+// MigratedKey returns the post-migration flow key. Only meaningful when
+// Migrated is set.
+func (ft *FlowTrace) MigratedKey() packet.FlowKey {
+	return packet.FlowKey{
+		Src: ft.MigratedAddr, Dst: ft.ServerAddr,
+		SrcPort: ft.MigratedPort, DstPort: ft.ServerPort,
+		Proto: packet.ProtoUDP,
+	}
 }
 
 // Key returns the canonical flow key of the trace.
@@ -87,6 +104,19 @@ func serverAddrFor(prov fingerprint.Provider) netip.Addr {
 	}
 }
 
+// ProviderOfAddr is the inverse of the synthetic address plan: given a
+// server address it returns the provider hosted there. It stands in for the
+// IP-to-AS hint an ISP deployment would derive from BGP or CDN prefix lists,
+// and feeds degraded classification when the hello is encrypted or absent.
+func ProviderOfAddr(addr netip.Addr) (fingerprint.Provider, bool) {
+	for _, prov := range fingerprint.AllProviders() {
+		if serverAddrFor(prov) == addr {
+			return prov, true
+		}
+	}
+	return 0, false
+}
+
 // FlowSpec controls payload shape; zero values draw lab-like defaults.
 type FlowSpec struct {
 	Start      time.Time
@@ -96,6 +126,12 @@ type FlowSpec struct {
 	// PayloadFrames caps how many representative payload packets are
 	// rendered (handshake frames are always complete). Default 4.
 	PayloadFrames int
+	// MigrateMidHandshake splits the ClientHello across two Initial
+	// packets and migrates the client tuple between them, so the tap sees
+	// the handshake finish on a different 5-tuple than it started on.
+	// Only meaningful with Options.Migration on a QUIC flow; the default
+	// migrates mid-stream, after the handshake completed.
+	MigrateMidHandshake bool
 }
 
 // Flow renders one labeled video flow.
@@ -232,57 +268,219 @@ func (g *Generator) renderTCP(ft *FlowTrace, fp *fingerprint.Flow, ttl uint8, sp
 	g.renderPayload(ft, spec, packet.ProtoTCP, ttl)
 }
 
-// renderQUIC renders the client Initial (carrying the ClientHello in a
-// CRYPTO frame), a server response datagram and payload frames.
-func (g *Generator) renderQUIC(ft *FlowTrace, fp *fingerprint.Flow, ttl uint8, spec FlowSpec) error {
-	initial := &quicproto.Initial{
-		Version:    quicproto.Version1,
-		DCID:       fp.DCID,
-		SCID:       fp.SCID,
-		CryptoData: fp.Hello.Marshal(),
+// randomCID draws an n-byte connection ID.
+func (g *Generator) randomCID(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(g.rng.UintN(256))
 	}
-	datagram, err := initial.Seal(fp.QUICTargetSize)
-	if err != nil {
-		return fmt.Errorf("tracegen: sealing initial: %w", err)
-	}
-	udp := packet.UDP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort}
-	g.appendFrame(ft, 0, true, ttl, packet.ProtoUDP,
-		udp.Append(nil, datagram, ft.ClientAddr, ft.ServerAddr))
+	return b
+}
 
-	// Server Initial+Handshake datagram (opaque to the tap; random bytes
-	// with a long-header first byte).
-	resp := make([]byte, 1200)
-	for i := range resp {
-		resp[i] = byte(g.rng.UintN(256))
+// longHeaderPacket builds a structurally valid long-header packet of the
+// given type: readable first byte, version and connection IDs, followed by
+// an opaque (random) body. This is exactly what an on-path observer can and
+// cannot see of a server flight, a 0-RTT packet or a Handshake packet.
+func (g *Generator) longHeaderPacket(typ uint8, dcid, scid []byte, size int) []byte {
+	buf := make([]byte, 0, size)
+	buf = append(buf, 0xc0|typ<<4|byte(g.rng.UintN(16)))
+	buf = append(buf, 0, 0, 0, 1) // version 1
+	buf = append(buf, byte(len(dcid)))
+	buf = append(buf, dcid...)
+	buf = append(buf, byte(len(scid)))
+	buf = append(buf, scid...)
+	for len(buf) < size {
+		buf = append(buf, byte(g.rng.UintN(256)))
 	}
-	resp[0] = 0xc0 | (resp[0] & 0x0f)
+	return buf
+}
+
+// shortHeaderPacket builds a 1-RTT short-header packet: fixed bit, random
+// spin/key bits, the destination CID (whose length is not on the wire), and
+// an opaque body.
+func (g *Generator) shortHeaderPacket(dcid []byte, size int) []byte {
+	buf := make([]byte, 0, size)
+	buf = append(buf, 0x40|byte(g.rng.UintN(0x40)))
+	buf = append(buf, dcid...)
+	for len(buf) < size {
+		buf = append(buf, byte(g.rng.UintN(256)))
+	}
+	return buf
+}
+
+// appendMigratedFrame renders a frame on the post-migration client tuple.
+func (g *Generator) appendMigratedFrame(ft *FlowTrace, off time.Duration, c2s bool, ttl uint8, segment []byte) {
+	ip := packet.IPv4{TTL: ttl, Protocol: packet.ProtoUDP,
+		Src: ft.MigratedAddr, Dst: ft.ServerAddr, ID: uint16(g.rng.UintN(65536))}
+	if !c2s {
+		ip.Src, ip.Dst = ft.ServerAddr, ft.MigratedAddr
+		ip.TTL = 57
+	}
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	frame := eth.Append(nil, ip.Append(nil, segment))
+	ft.Frames = append(ft.Frames, Frame{Offset: off, Data: frame, ClientToServer: c2s})
+}
+
+// renderQUIC renders the client Initial (carrying the ClientHello in a
+// CRYPTO frame), a server response datagram and payload frames. The
+// adversarial Options knobs reshape the handshake: ZeroRTT replaces the
+// Initial with opaque early-data packets, and Migration moves the client to
+// a new 5-tuple either between the two halves of a split hello
+// (MigrateMidHandshake) or after the handshake completed.
+func (g *Generator) renderQUIC(ft *FlowTrace, fp *fingerprint.Flow, ttl uint8, spec FlowSpec) error {
+	// The server's chosen CID, which post-handshake client packets carry as
+	// their destination. Observable in the server's long-header flight.
+	serverCID := g.randomCID(8)
+	if spec.Options.Migration {
+		ft.Migrated = true
+		// A path change typically lands the client on a different access
+		// network (say WiFi to cellular), so draw a fresh address block.
+		ft.MigratedAddr = netip.AddrFrom4([4]byte{10, 20, 0, byte(2 + g.rng.IntN(250))})
+		ft.MigratedPort = uint16(49152 + g.rng.IntN(16000))
+	}
+	if spec.Options.ZeroRTT {
+		return g.renderQUICZeroRTT(ft, fp, serverCID, ttl, spec)
+	}
+
+	hello := fp.Hello.Marshal()
+	udp := packet.UDP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort}
+	splitHandshake := ft.Migrated && spec.MigrateMidHandshake
+	if splitHandshake {
+		// Hello split across two Initials; the path changes between them,
+		// so the second CRYPTO fragment arrives from the migrated tuple and
+		// only the connection IDs tie the halves together.
+		k := len(hello) / 2
+		first := &quicproto.Initial{Version: quicproto.Version1,
+			DCID: fp.DCID, SCID: fp.SCID, CryptoData: hello[:k]}
+		dg1, err := first.Seal(0)
+		if err != nil {
+			return fmt.Errorf("tracegen: sealing split initial: %w", err)
+		}
+		g.appendFrame(ft, 0, true, ttl, packet.ProtoUDP,
+			udp.Append(nil, dg1, ft.ClientAddr, ft.ServerAddr))
+
+		second := &quicproto.Initial{Version: quicproto.Version1,
+			DCID: fp.DCID, SCID: fp.SCID, PacketNumber: 1,
+			CryptoOffset: uint64(k), CryptoData: hello[k:]}
+		dg2, err := second.Seal(0)
+		if err != nil {
+			return fmt.Errorf("tracegen: sealing split initial: %w", err)
+		}
+		migUDP := packet.UDP{SrcPort: ft.MigratedPort, DstPort: ft.ServerPort}
+		g.appendMigratedFrame(ft, 2*time.Millisecond, true, ttl,
+			migUDP.Append(nil, dg2, ft.MigratedAddr, ft.ServerAddr))
+	} else {
+		initial := &quicproto.Initial{
+			Version:    quicproto.Version1,
+			DCID:       fp.DCID,
+			SCID:       fp.SCID,
+			CryptoData: hello,
+		}
+		datagram, err := initial.Seal(fp.QUICTargetSize)
+		if err != nil {
+			return fmt.Errorf("tracegen: sealing initial: %w", err)
+		}
+		g.appendFrame(ft, 0, true, ttl, packet.ProtoUDP,
+			udp.Append(nil, datagram, ft.ClientAddr, ft.ServerAddr))
+	}
+
+	// Server Initial+Handshake flight: opaque body behind a readable
+	// long-header prefix that echoes the client's SCID and announces the
+	// server's CID.
+	resp := g.longHeaderPacket(quicproto.TypeHandshake, fp.SCID, serverCID, 1200)
+	respUDP := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
+	if splitHandshake {
+		// The server replies to wherever the handshake finished — the
+		// migrated tuple, port included.
+		respUDP.DstPort = ft.MigratedPort
+		g.appendMigratedFrame(ft, 14*time.Millisecond, false, 0,
+			respUDP.Append(nil, resp, ft.ServerAddr, ft.MigratedAddr))
+	} else {
+		g.appendFrame(ft, 14*time.Millisecond, false, 0, packet.ProtoUDP,
+			respUDP.Append(nil, resp, ft.ServerAddr, ft.ClientAddr))
+	}
+
+	if ft.Migrated && !splitHandshake {
+		// Mid-stream migration: the first packet on the new path is a
+		// client short header carrying the server's CID — the only wire
+		// evidence linking the tuples.
+		seg := g.shortHeaderPacket(serverCID, 160)
+		migUDP := packet.UDP{SrcPort: ft.MigratedPort, DstPort: ft.ServerPort}
+		g.appendMigratedFrame(ft, 40*time.Millisecond, true, ttl,
+			migUDP.Append(nil, seg, ft.MigratedAddr, ft.ServerAddr))
+	}
+
+	g.renderPayloadQUIC(ft, fp.SCID, spec)
+	return nil
+}
+
+// renderQUICZeroRTT renders a session-resumption flow: the client sends
+// 0-RTT early-data packets under keys from a previous session, so no
+// ClientHello ever crosses the tap. Everything past the long-header CIDs is
+// opaque.
+func (g *Generator) renderQUICZeroRTT(ft *FlowTrace, fp *fingerprint.Flow, serverCID []byte, ttl uint8, spec FlowSpec) error {
+	udp := packet.UDP{SrcPort: ft.ClientPort, DstPort: ft.ServerPort}
+	for i := 0; i < 2; i++ {
+		early := g.longHeaderPacket(quicproto.Type0RTT, fp.DCID, fp.SCID, fp.QUICTargetSize)
+		g.appendFrame(ft, time.Duration(i)*time.Millisecond, true, ttl, packet.ProtoUDP,
+			udp.Append(nil, early, ft.ClientAddr, ft.ServerAddr))
+	}
+
+	resp := g.longHeaderPacket(quicproto.TypeHandshake, fp.SCID, serverCID, 1200)
 	respUDP := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
 	g.appendFrame(ft, 14*time.Millisecond, false, 0, packet.ProtoUDP,
 		respUDP.Append(nil, resp, ft.ServerAddr, ft.ClientAddr))
 
-	g.renderPayload(ft, spec, packet.ProtoUDP, ttl)
+	// The client's switch to short headers confirms no fresh handshake is
+	// coming: the resumption either completed or was rejected, and either
+	// way the tap never saw a hello.
+	seg := g.shortHeaderPacket(serverCID, 160)
+	if ft.Migrated {
+		migUDP := packet.UDP{SrcPort: ft.MigratedPort, DstPort: ft.ServerPort}
+		g.appendMigratedFrame(ft, 40*time.Millisecond, true, ttl,
+			migUDP.Append(nil, seg, ft.MigratedAddr, ft.ServerAddr))
+	} else {
+		g.appendFrame(ft, 16*time.Millisecond, true, ttl, packet.ProtoUDP,
+			udp.Append(nil, seg, ft.ClientAddr, ft.ServerAddr))
+	}
+
+	g.renderPayloadQUIC(ft, fp.SCID, spec)
 	return nil
 }
 
-// renderPayload adds a few representative (short-header/application-data)
-// payload frames spread over the flow duration.
+// renderPayload adds a few representative TCP application-data frames
+// spread over the flow duration.
 func (g *Generator) renderPayload(ft *FlowTrace, spec FlowSpec, proto uint8, ttl uint8) {
 	n := spec.PayloadFrames
 	for i := 0; i < n; i++ {
 		off := 50*time.Millisecond + time.Duration(float64(spec.Duration)*float64(i+1)/float64(n+1))
 		size := 1200 + g.rng.IntN(200)
 		body := make([]byte, size)
-		if proto == packet.ProtoUDP {
-			body[0] = 0x40 | byte(g.rng.UintN(0x30)) // QUIC short header
-			udp := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
-			g.appendFrame(ft, off, false, 0, proto,
-				udp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
+		tcp := packet.TCP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort,
+			Seq: g.rng.Uint32(), Ack: g.rng.Uint32(), Flags: packet.FlagACK,
+			Window: 65160}
+		g.appendFrame(ft, off, false, 0, proto,
+			tcp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
+	}
+}
+
+// renderPayloadQUIC adds representative server→client short-header frames
+// carrying the client's CID as destination. On migrated flows the frames
+// follow the client to its post-migration tuple.
+func (g *Generator) renderPayloadQUIC(ft *FlowTrace, clientCID []byte, spec FlowSpec) {
+	n := spec.PayloadFrames
+	for i := 0; i < n; i++ {
+		off := 50*time.Millisecond + time.Duration(float64(spec.Duration)*float64(i+1)/float64(n+1))
+		size := 1200 + g.rng.IntN(200)
+		body := g.shortHeaderPacket(clientCID, size)
+		if ft.Migrated {
+			udp := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.MigratedPort}
+			g.appendMigratedFrame(ft, off, false, 0,
+				udp.Append(nil, body, ft.ServerAddr, ft.MigratedAddr))
 		} else {
-			tcp := packet.TCP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort,
-				Seq: g.rng.Uint32(), Ack: g.rng.Uint32(), Flags: packet.FlagACK,
-				Window: 65160}
-			g.appendFrame(ft, off, false, 0, proto,
-				tcp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
+			udp := packet.UDP{SrcPort: ft.ServerPort, DstPort: ft.ClientPort}
+			g.appendFrame(ft, off, false, 0, packet.ProtoUDP,
+				udp.Append(nil, body, ft.ServerAddr, ft.ClientAddr))
 		}
 	}
 }

@@ -255,3 +255,93 @@ func BenchmarkRenderQUICFlow(b *testing.B) {
 		}
 	}
 }
+
+// TestScenarioDeterminism pins byte-identical regeneration across the
+// adversarial scenario families: two generators with the same seed rendering
+// the same (label, provider, transport, spec) sequence must agree on every
+// frame byte, every offset and all migration ground truth — the contract
+// that makes a rendered dataset reproducible from (seed, Options) alone.
+func TestScenarioDeterminism(t *testing.T) {
+	specs := []struct {
+		label string
+		prov  fingerprint.Provider
+		tr    fingerprint.Transport
+		spec  FlowSpec
+	}{
+		{"windows_chrome", fingerprint.Netflix, fingerprint.TCP,
+			FlowSpec{Options: fingerprint.Options{ECH: true}, PayloadFrames: 2}},
+		{"android_chrome", fingerprint.YouTube, fingerprint.QUIC,
+			FlowSpec{Options: fingerprint.Options{ECH: true}, PayloadFrames: 1}},
+		{"android_chrome", fingerprint.YouTube, fingerprint.QUIC,
+			FlowSpec{Options: fingerprint.Options{ZeroRTT: true}, PayloadFrames: 2}},
+		{"iOS_chrome", fingerprint.YouTube, fingerprint.QUIC,
+			FlowSpec{Options: fingerprint.Options{Migration: true}, PayloadFrames: 3}},
+		{"macOS_chrome", fingerprint.YouTube, fingerprint.QUIC,
+			FlowSpec{Options: fingerprint.Options{Migration: true}, MigrateMidHandshake: true, PayloadFrames: 2}},
+		{"android_chrome", fingerprint.YouTube, fingerprint.QUIC,
+			FlowSpec{Options: fingerprint.Options{ZeroRTT: true, Migration: true}, PayloadFrames: 1}},
+	}
+	ga, gb := New(97), New(97)
+	for _, sc := range specs {
+		a, err := ga.Flow(sc.label, sc.prov, sc.tr, sc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := gb.Flow(sc.label, sc.prov, sc.tr, sc.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Key() != b.Key() || a.SNI != b.SNI || a.Migrated != b.Migrated {
+			t.Fatalf("%s/%s ground truth diverged across identical seeds", sc.label, sc.prov)
+		}
+		if a.Migrated && a.MigratedKey() != b.MigratedKey() {
+			t.Fatalf("%s/%s migrated tuple diverged", sc.label, sc.prov)
+		}
+		if len(a.Frames) != len(b.Frames) {
+			t.Fatalf("%s/%s frame counts differ: %d vs %d", sc.label, sc.prov, len(a.Frames), len(b.Frames))
+		}
+		for i := range a.Frames {
+			if a.Frames[i].Offset != b.Frames[i].Offset {
+				t.Fatalf("%s/%s frame %d offset differs", sc.label, sc.prov, i)
+			}
+			if !bytes.Equal(a.Frames[i].Data, b.Frames[i].Data) {
+				t.Fatalf("%s/%s frame %d differs across identical seeds", sc.label, sc.prov, i)
+			}
+		}
+	}
+}
+
+// TestScenarioDatasetDeterminism pins the same contract one level up: a full
+// LabDataset rendered twice from the same seed with adversarial Options is
+// byte-identical flow for flow.
+func TestScenarioDatasetDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders two datasets")
+	}
+	opts := fingerprint.Options{ECH: true}
+	da, err := New(98).LabDataset(0.01, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := New(98).LabDataset(0.01, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da.Flows) != len(db.Flows) {
+		t.Fatalf("dataset sizes differ: %d vs %d", len(da.Flows), len(db.Flows))
+	}
+	for i := range da.Flows {
+		a, b := da.Flows[i], db.Flows[i]
+		if a.Label != b.Label || a.Provider != b.Provider || a.Transport != b.Transport {
+			t.Fatalf("flow %d identity diverged", i)
+		}
+		if len(a.Frames) != len(b.Frames) {
+			t.Fatalf("flow %d frame counts differ", i)
+		}
+		for j := range a.Frames {
+			if !bytes.Equal(a.Frames[j].Data, b.Frames[j].Data) {
+				t.Fatalf("flow %d frame %d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
